@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the erasure-coding kernels (the work ISA-L does in
+//! the paper): XOR parity, GF(256) multiply-accumulate, RAID-5/6 encode and
+//! recovery, Reed-Solomon decode.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use draid_ec::{gf256, xor_into, Raid5, Raid6, ReedSolomon};
+
+const CHUNK: usize = 512 * 1024;
+
+fn chunks(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| (0..CHUNK).map(|j| ((i * 31 + j * 7) % 256) as u8).collect())
+        .collect()
+}
+
+fn bench_xor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xor");
+    g.throughput(Throughput::Bytes(CHUNK as u64));
+    let src = chunks(1).pop().expect("one chunk");
+    let mut acc = vec![0u8; CHUNK];
+    g.bench_function("xor_into_512KiB", |b| {
+        b.iter(|| xor_into(black_box(&mut acc), black_box(&src)))
+    });
+    g.finish();
+}
+
+fn bench_gf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256");
+    g.throughput(Throughput::Bytes(CHUNK as u64));
+    let src = chunks(1).pop().expect("one chunk");
+    let mut acc = vec![0u8; CHUNK];
+    g.bench_function("mul_acc_512KiB", |b| {
+        b.iter(|| gf256::mul_acc(black_box(&mut acc), black_box(&src), black_box(0x1D)))
+    });
+    g.finish();
+}
+
+fn bench_raid5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raid5");
+    for width in [4usize, 8, 18] {
+        let data = chunks(width - 1);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        g.throughput(Throughput::Bytes(((width - 1) * CHUNK) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", width), &refs, |b, refs| {
+            b.iter(|| Raid5::encode(black_box(refs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_raid6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raid6");
+    let data = chunks(6);
+    let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+    let (p, q) = Raid6::encode(&refs);
+    g.throughput(Throughput::Bytes((6 * CHUNK) as u64));
+    g.bench_function("encode_6+2", |b| b.iter(|| Raid6::encode(black_box(&refs))));
+    let survivors: Vec<(usize, &[u8])> = data
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1 && *i != 4)
+        .map(|(i, d)| (i, &d[..]))
+        .collect();
+    g.bench_function("recover_two_data", |b| {
+        b.iter(|| Raid6::recover_two_data(6, 1, 4, black_box(&survivors), &p, &q))
+    });
+    g.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed_solomon");
+    let rs = ReedSolomon::new(8, 3);
+    let data = chunks(8);
+    let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+    let parity = rs.encode(&refs);
+    g.throughput(Throughput::Bytes((8 * CHUNK) as u64));
+    g.bench_function("encode_8+3", |b| b.iter(|| rs.encode(black_box(&refs))));
+    g.bench_function("reconstruct_3_erasures", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            shards[0] = None;
+            shards[5] = None;
+            shards[9] = None;
+            rs.reconstruct(black_box(&mut shards)).expect("decodable")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_xor, bench_gf, bench_raid5, bench_raid6, bench_rs
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end simulated-array benchmarks: how many RAID operations per
+//! wall-clock second the whole stack (layout → DAG build → executor →
+//! resource models) can simulate, per system and path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use draid_block::Cluster;
+use draid_core::{ArrayConfig, ArraySim, SystemKind, UserIo};
+use draid_sim::Engine;
+
+const OPS: u64 = 500;
+
+fn run_ops(system: SystemKind, degraded: bool, write: bool) -> u64 {
+    let cfg = ArrayConfig::paper_default(system);
+    let mut array = ArraySim::new(Cluster::homogeneous(cfg.width), cfg).expect("valid");
+    if degraded {
+        array.fail_member(0);
+    }
+    let mut engine = Engine::new();
+    for i in 0..OPS {
+        let offset = (i * 131_072) % (1 << 30);
+        let io = if write {
+            UserIo::write(offset, 128 * 1024)
+        } else {
+            UserIo::read(offset, 128 * 1024)
+        };
+        array.submit(&mut engine, io);
+    }
+    engine.run(&mut array);
+    array.drain_completions().len() as u64
+}
+
+fn bench_normal_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_normal");
+    g.throughput(Throughput::Elements(OPS));
+    for system in [SystemKind::LinuxMd, SystemKind::SpdkRaid, SystemKind::Draid] {
+        g.bench_with_input(
+            BenchmarkId::new("write_128k", system.label()),
+            &system,
+            |b, &s| b.iter(|| black_box(run_ops(s, false, true))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("read_128k", system.label()),
+            &system,
+            |b, &s| b.iter(|| black_box(run_ops(s, false, false))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_degraded_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_degraded");
+    g.throughput(Throughput::Elements(OPS));
+    for system in [SystemKind::SpdkRaid, SystemKind::Draid] {
+        g.bench_with_input(
+            BenchmarkId::new("degraded_read_128k", system.label()),
+            &system,
+            |b, &s| b.iter(|| black_box(run_ops(s, true, false))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("degraded_write_128k", system.label()),
+            &system,
+            |b, &s| b.iter(|| black_box(run_ops(s, true, true))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_normal_paths, bench_degraded_paths
+}
+criterion_main!(benches);

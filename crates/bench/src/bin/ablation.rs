@@ -1,0 +1,6 @@
+//! Regenerates the paper's `ablation` experiment. Run with
+//! `cargo run --release -p draid-bench --bin ablation`.
+
+fn main() {
+    draid_bench::figures::run_main("ablation");
+}

@@ -1,0 +1,35 @@
+//! Reproduces the §7 server-CPU-usage claim: "we strictly limit dRAID to use
+//! only one core per SSD on the storage server … dRAID uses <25% of the CPU
+//! cycles", measured here at each system's peak partial-stripe-write load.
+//!
+//! ```text
+//! cargo run --release -p draid-bench --bin cpu_util
+//! ```
+
+use draid_bench::{build_array, Scenario};
+use draid_core::SystemKind;
+use draid_workload::{FioJob, Runner};
+
+fn main() {
+    println!("server-side core utilization at saturated 128 KiB writes (RAID-5 x8):\n");
+    println!(
+        "{:<8} {:>12} {:>16} {:>12}",
+        "system", "MB/s", "max member core", "host core"
+    );
+    let runner = Runner::new();
+    for system in [SystemKind::SpdkRaid, SystemKind::Draid] {
+        let report = runner.run(
+            build_array(&Scenario::paper(system)),
+            &FioJob::random_write(128 * 1024).queue_depth(48),
+        );
+        println!(
+            "{:<8} {:>12.0} {:>15.1}% {:>11.1}%",
+            system.label(),
+            report.bandwidth_mb_per_sec,
+            report.max_member_cpu * 100.0,
+            report.host_cpu * 100.0
+        );
+    }
+    println!("\npaper (§7): dRAID uses <25% of one core per SSD — offloaded parity");
+    println!("generation is resource-conservative even at peak write bandwidth.");
+}

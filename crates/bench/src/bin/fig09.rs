@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig09` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig09`.
+
+fn main() {
+    draid_bench::figures::run_main("fig09");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig13` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig13`.
+
+fn main() {
+    draid_bench::figures::run_main("fig13");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig14a` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig14a`.
+
+fn main() {
+    draid_bench::figures::run_main("fig14a");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig16` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig16`.
+
+fn main() {
+    draid_bench::figures::run_main("fig16");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig17b` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig17b`.
+
+fn main() {
+    draid_bench::figures::run_main("fig17b");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig19a` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig19a`.
+
+fn main() {
+    draid_bench::figures::run_main("fig19a");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig19b` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig19b`.
+
+fn main() {
+    draid_bench::figures::run_main("fig19b");
+}

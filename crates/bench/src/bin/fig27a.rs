@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig27a` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig27a`.
+
+fn main() {
+    draid_bench::figures::run_main("fig27a");
+}

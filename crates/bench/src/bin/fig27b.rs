@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig27b` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig27b`.
+
+fn main() {
+    draid_bench::figures::run_main("fig27b");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig28` experiment. Run with
+//! `cargo run --release -p draid-bench --bin fig28`.
+
+fn main() {
+    draid_bench::figures::run_main("fig28");
+}

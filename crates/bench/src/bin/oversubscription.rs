@@ -1,0 +1,63 @@
+//! Extension experiment: a two-tier datacenter with an oversubscribed core.
+//!
+//! Real disaggregated deployments put compute and storage in separate racks
+//! behind oversubscribed core uplinks. dRAID's partial parities travel
+//! peer-to-peer *inside* the storage rack, so only one copy of the user data
+//! crosses the core per partial-stripe write; the centralized designs drag
+//! old data + old parity up and new data + new parity down — 4 core
+//! crossings. The skinnier the core, the larger dRAID's advantage.
+//!
+//! ```text
+//! cargo run --release -p draid-bench --bin oversubscription
+//! ```
+
+use draid_block::{ClusterBuilder, CpuSpec, DriveSpec};
+use draid_core::{ArrayConfig, ArraySim, SystemKind};
+use draid_net::NicSpec;
+use draid_workload::{FioJob, Runner};
+
+const WIDTH: usize = 8;
+
+fn build(system: SystemKind, oversub: f64) -> ArraySim {
+    let mut b = ClusterBuilder::new();
+    // Uplink capacity = aggregate NIC bandwidth / oversubscription factor.
+    // The compute rack holds one host; its uplink is a full NIC.
+    let storage_uplink = NicSpec::with_goodput_gbps(92.0 * WIDTH as f64 / oversub);
+    b.two_tier(NicSpec::cx5_100g(), storage_uplink);
+    b.host(vec![NicSpec::cx5_100g()], CpuSpec::default());
+    for _ in 0..WIDTH {
+        b.server(vec![NicSpec::cx5_100g()], DriveSpec::default(), CpuSpec::default());
+    }
+    let cfg = ArrayConfig::paper_default(system);
+    ArraySim::new(b.build(), cfg).expect("valid config")
+}
+
+fn main() {
+    let runner = Runner::new();
+    let job = FioJob::random_write(128 * 1024).queue_depth(48);
+    println!(
+        "two-tier topology, 128 KiB writes, RAID-5 x{WIDTH} (MB/s):\n"
+    );
+    println!(
+        "{:>14} {:>10} {:>10} {:>9}",
+        "storage core", "SPDK", "dRAID", "ratio"
+    );
+    for oversub in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
+        let spdk = runner.run(build(SystemKind::SpdkRaid, oversub), &job);
+        let draid = runner.run(build(SystemKind::Draid, oversub), &job);
+        println!(
+            "{:>12.0}:1 {:>10.0} {:>10.0} {:>8.2}x",
+            oversub,
+            spdk.bandwidth_mb_per_sec,
+            draid.bandwidth_mb_per_sec,
+            draid.bandwidth_mb_per_sec / spdk.bandwidth_mb_per_sec
+        );
+    }
+    println!(
+        "\nreading: with a non-blocking core (1:1) the drives bound both systems;\n\
+         as the storage rack's uplink thins, the centralized baseline's 4 core\n\
+         crossings per write throttle it first, while dRAID's single crossing\n\
+         (plus rack-local parity movement) holds on far longer — the paper's\n\
+         Table 1 traffic asymmetry expressed as topology."
+    );
+}

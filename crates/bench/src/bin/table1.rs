@@ -1,0 +1,6 @@
+//! Regenerates the paper's `table1` experiment. Run with
+//! `cargo run --release -p draid-bench --bin table1`.
+
+fn main() {
+    draid_bench::figures::run_main("table1");
+}

@@ -1,0 +1,147 @@
+//! Application figures (§9.6): the LSM KV store (RocksDB stand-in, Fig. 19)
+//! and the hash-based object store (Figs. 20–21) under YCSB.
+
+use draid_core::SystemKind;
+use draid_sim::SimTime;
+use draid_store::{AppRunner, Distribution, LsmStore, ObjectStore, YcsbGen, YcsbWorkload};
+
+use crate::figure::{Figure, Point, Series};
+use crate::parallel;
+use crate::setup::{build_array, Scenario};
+
+const APP_SYSTEMS: [SystemKind; 2] = [SystemKind::SpdkRaid, SystemKind::Draid];
+
+/// Which application backs the figure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum App {
+    Lsm,
+    Object,
+}
+
+fn ycsb_x(w: YcsbWorkload) -> f64 {
+    match w {
+        YcsbWorkload::A => 0.0,
+        YcsbWorkload::B => 1.0,
+        YcsbWorkload::C => 2.0,
+        YcsbWorkload::D => 3.0,
+        YcsbWorkload::F => 4.0,
+    }
+}
+
+fn run_app_sweep(app: App, degraded: bool) -> Vec<Series> {
+    let mut specs = Vec::new();
+    for &system in &APP_SYSTEMS {
+        for w in YcsbWorkload::ALL {
+            specs.push((system, w));
+        }
+    }
+    let results = parallel::map(specs, |(system, w)| {
+        let scenario = Scenario::paper(system).failed(usize::from(degraded));
+        let array = build_array(&scenario);
+        let report = match app {
+            App::Lsm => {
+                // A single RocksDB-like instance: bounded internal
+                // parallelism, 1 KiB records, zipfian per YCSB defaults.
+                let runner = AppRunner {
+                    concurrency: 8,
+                    warmup: SimTime::from_millis(20),
+                    measure: SimTime::from_millis(120),
+                };
+                runner.run(array, LsmStore::paper_default(), YcsbGen::new(w, 1_000_000, 7))
+            }
+            App::Object => {
+                // §9.6: 200 K × 128 KiB objects, uniform distribution, many
+                // client threads.
+                let runner = AppRunner {
+                    concurrency: 48,
+                    warmup: SimTime::from_millis(20),
+                    measure: SimTime::from_millis(120),
+                };
+                runner.run(
+                    array,
+                    ObjectStore::paper_default(),
+                    YcsbGen::with_distribution(w, Distribution::Uniform, 200_000, 7),
+                )
+            }
+        };
+        (
+            system.label().to_string(),
+            Point {
+                x: ycsb_x(w),
+                y: report.kiops,
+                latency_us: Some(report.mean_latency_us),
+            },
+        )
+    });
+    let mut series: Vec<Series> = Vec::new();
+    for (label, point) in results {
+        match series.iter_mut().find(|s| s.label == label) {
+            Some(s) => s.points.push(point),
+            None => series.push(Series {
+                label,
+                points: vec![point],
+            }),
+        }
+    }
+    series
+}
+
+fn workload_axis_note(fig: &mut Figure) {
+    fig.note("x axis: 0=YCSB-A, 1=YCSB-B, 2=YCSB-C, 3=YCSB-D, 4=YCSB-F".to_string());
+}
+
+/// Fig. 19a/19b: LSM KV (RocksDB stand-in) YCSB throughput.
+pub(crate) fn lsm_ycsb(id: &str, degraded: bool) -> Figure {
+    let state = if degraded { "degraded" } else { "normal" };
+    let mut fig = Figure::new(
+        id,
+        format!("LSM KV store (RocksDB stand-in) YCSB throughput, {state}-state RAID-5"),
+        "YCSB workload",
+        "KIOPS",
+    );
+    fig.series = run_app_sweep(App::Lsm, degraded);
+    workload_axis_note(&mut fig);
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", ycsb_x(YcsbWorkload::A)) {
+        let paper = if degraded {
+            "paper: further improvement for all workloads in degraded state"
+        } else {
+            "paper: 1.27x on YCSB-A, 1.28x on YCSB-F; ~1x on read-heavy B/C/D"
+        };
+        fig.note(format!("{paper}; measured YCSB-A = {r:.2}x"));
+    }
+    fig.note(
+        "paper: a single locked KV instance uses <5% of array bandwidth, compressing the gain"
+            .to_string(),
+    );
+    fig
+}
+
+/// Figs. 20/21: object store YCSB throughput + latency.
+pub(crate) fn object_ycsb(id: &str, degraded: bool) -> Figure {
+    let state = if degraded { "degraded" } else { "normal" };
+    let mut fig = Figure::new(
+        id,
+        format!("Object store YCSB on {state}-state RAID-5"),
+        "YCSB workload",
+        "KIOPS",
+    );
+    fig.series = run_app_sweep(App::Object, degraded);
+    workload_axis_note(&mut fig);
+    let a = fig.ratio_at("dRAID", "SPDK", ycsb_x(YcsbWorkload::A));
+    let f = fig.ratio_at("dRAID", "SPDK", ycsb_x(YcsbWorkload::F));
+    let b = fig.ratio_at("dRAID", "SPDK", ycsb_x(YcsbWorkload::B));
+    match (degraded, a, f, b) {
+        (false, Some(a), Some(f), _) => {
+            fig.note(format!(
+                "paper: 1.7x on YCSB-A and 1.5x on YCSB-F, limited gain on read-heavy; measured A = {a:.2}x, F = {f:.2}x"
+            ));
+        }
+        (true, _, _, Some(b)) => {
+            fig.note(format!(
+                "paper: ~2.35x on read-heavy B/C/D in degraded state; measured B = {b:.2}x"
+            ));
+        }
+        _ => {}
+    }
+    fig
+}

@@ -1,0 +1,456 @@
+//! FIO-based figures: §9.2–§9.5 (RAID-5, Figs. 9–18) and Appendix A
+//! (RAID-6, Figs. 22–30).
+
+use draid_core::{RaidLevel, ReducerPolicy, SystemKind};
+use draid_workload::{FioJob, Runner};
+
+use crate::figure::{Figure, Point, Series};
+use crate::parallel;
+use crate::setup::{build_array, build_hetero_array, Scenario};
+
+const SYSTEMS: [SystemKind; 3] = [
+    SystemKind::LinuxMd,
+    SystemKind::SpdkRaid,
+    SystemKind::Draid,
+];
+
+/// NIC goodput reference line (92 Gbps in MB/s), drawn in Figs. 12/14.
+pub(crate) const NIC_GOODPUT_MB: f64 = 11_500.0;
+
+struct PointSpec {
+    label: String,
+    x: f64,
+    scenario: Scenario,
+    hetero_slow: usize,
+    job: FioJob,
+}
+
+fn run_sweep(specs: Vec<PointSpec>) -> Vec<Series> {
+    let runner = Runner::new();
+    let results = parallel::map(specs, |spec| {
+        let array = if spec.hetero_slow > 0 {
+            build_hetero_array(&spec.scenario, spec.hetero_slow)
+        } else {
+            build_array(&spec.scenario)
+        };
+        let report = runner.run(array, &spec.job);
+        (
+            spec.label,
+            Point {
+                x: spec.x,
+                y: report.bandwidth_mb_per_sec,
+                latency_us: Some(report.mean_latency_us),
+            },
+        )
+    });
+    let mut series: Vec<Series> = Vec::new();
+    for (label, point) in results {
+        match series.iter_mut().find(|s| s.label == label) {
+            Some(s) => s.points.push(point),
+            None => series.push(Series {
+                label,
+                points: vec![point],
+            }),
+        }
+    }
+    series
+}
+
+fn three_system_sweep(
+    xs: &[f64],
+    mut scenario_of: impl FnMut(SystemKind, f64) -> (Scenario, FioJob),
+) -> Vec<Series> {
+    let mut specs = Vec::new();
+    for &system in &SYSTEMS {
+        for &x in xs {
+            let (scenario, job) = scenario_of(system, x);
+            specs.push(PointSpec {
+                label: system.label().to_string(),
+                x,
+                scenario,
+                hetero_slow: 0,
+                job,
+            });
+        }
+    }
+    run_sweep(specs)
+}
+
+fn level_suffix(level: RaidLevel) -> &'static str {
+    match level {
+        RaidLevel::Raid5 => "RAID-5",
+        RaidLevel::Raid6 => "RAID-6",
+    }
+}
+
+/// Figs. 9/22: normal-state read bandwidth+latency vs I/O size (6 targets).
+pub(crate) fn read_vs_io_size(id: &str, level: RaidLevel) -> Figure {
+    let xs = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let mut fig = Figure::new(
+        id,
+        format!("{} normal-state read on different I/O sizes", level_suffix(level)),
+        "I/O size (KiB)",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&xs, |system, kib| {
+        (
+            Scenario::paper(system).level(level).width(6),
+            FioJob::random_read(kib as u64 * 1024).queue_depth(32),
+        )
+    });
+    let sat = fig
+        .series("dRAID")
+        .and_then(|s| s.at(128.0))
+        .map(|p| p.y)
+        .unwrap_or(0.0);
+    fig.note(format!(
+        "paper: all systems reach NIC goodput (~92 Gbps = 11500 MB/s) beyond 64 KiB; measured dRAID @128 KiB = {sat:.0} MB/s"
+    ));
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", 4.0) {
+        fig.note(format!(
+            "paper: dRAID gains on small I/O from lock-free reads; measured dRAID/SPDK @4 KiB = {r:.2}x"
+        ));
+    }
+    fig
+}
+
+/// Figs. 10/23: normal-state write vs I/O size (8 targets), spanning the
+/// RMW → reconstruct-write → full-stripe boundaries.
+pub(crate) fn write_vs_io_size(id: &str, level: RaidLevel) -> Figure {
+    let xs: Vec<f64> = match level {
+        RaidLevel::Raid5 => vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 3584.0],
+        RaidLevel::Raid6 => vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 3072.0],
+    };
+    let mut fig = Figure::new(
+        id,
+        format!("{} write on different I/O sizes", level_suffix(level)),
+        "I/O size (KiB)",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&xs, |system, kib| {
+        (
+            Scenario::paper(system).level(level),
+            FioJob::random_write(kib as u64 * 1024).queue_depth(32),
+        )
+    });
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", 128.0) {
+        let paper = match level {
+            RaidLevel::Raid5 => "1.7x",
+            RaidLevel::Raid6 => "2.3x",
+        };
+        fig.note(format!(
+            "paper: dRAID/SPDK @128 KiB = {paper}; measured = {r:.2}x"
+        ));
+    }
+    let full = *xs.last().expect("non-empty sweep");
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", full) {
+        fig.note(format!(
+            "paper: full-stripe writes identical (host-side parity for both); measured ratio @{full:.0} KiB = {r:.2}x"
+        ));
+    }
+    fig.note("paper: dRAID plateaus at the 8-SSD read-modify-write bound (~5000 MB/s) between 256 KiB and 1024 KiB".to_string());
+    fig
+}
+
+/// Figs. 11/24: write vs chunk size at 128 KiB I/O.
+pub(crate) fn write_vs_chunk(id: &str, level: RaidLevel) -> Figure {
+    let xs = [32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+    let mut fig = Figure::new(
+        id,
+        format!("{} write on different chunk sizes", level_suffix(level)),
+        "chunk size (KiB)",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&xs, |system, chunk| {
+        (
+            Scenario::paper(system).level(level).chunk_kib(chunk as u64),
+            FioJob::random_write(128 * 1024).queue_depth(32),
+        )
+    });
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", 512.0) {
+        let paper = match level {
+            RaidLevel::Raid5 => "up to 1.7x",
+            RaidLevel::Raid6 => "up to 2.6x",
+        };
+        fig.note(format!(
+            "paper: dRAID improvement {paper}; measured @512 KiB chunks = {r:.2}x"
+        ));
+    }
+    fig
+}
+
+/// Figs. 12/25: write vs stripe width at 128 KiB.
+pub(crate) fn write_vs_width(id: &str, level: RaidLevel) -> Figure {
+    let xs = [4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0];
+    let mut fig = Figure::new(
+        id,
+        format!("{} write on different stripe widths", level_suffix(level)),
+        "stripe width",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&xs, |system, w| {
+        (
+            Scenario::paper(system).level(level).width(w as usize),
+            FioJob::random_write(128 * 1024).queue_depth(96),
+        )
+    });
+    let draid18 = fig.series("dRAID").and_then(|s| s.at(18.0)).map(|p| p.y);
+    if let Some(v) = draid18 {
+        fig.note(format!(
+            "paper: dRAID scales linearly, 84 Gbps (10500 MB/s) at width 18 toward NIC goodput {NIC_GOODPUT_MB:.0}; measured = {v:.0} MB/s"
+        ));
+    }
+    let spdk_peak = fig.series("SPDK").map(Series::peak).unwrap_or(0.0);
+    fig.note(format!(
+        "paper: SPDK capped at half NIC goodput (~5750 MB/s); measured peak = {spdk_peak:.0} MB/s"
+    ));
+    fig.note("paper: Linux declines with width (stripe-cache overhead)".to_string());
+    fig
+}
+
+/// Figs. 13/26: write vs read ratio.
+pub(crate) fn write_vs_mix(id: &str, level: RaidLevel) -> Figure {
+    let xs = [0.0, 25.0, 50.0, 75.0, 100.0];
+    let mut fig = Figure::new(
+        id,
+        format!("{} write on different read/write ratios", level_suffix(level)),
+        "read %",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&xs, |system, pct| {
+        (
+            Scenario::paper(system).level(level),
+            FioJob::mixed(pct / 100.0, 128 * 1024).queue_depth(32),
+        )
+    });
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", 50.0) {
+        let paper = match level {
+            RaidLevel::Raid5 => "1.4x-1.7x on all mixed ratios",
+            RaidLevel::Raid6 => "1.6x-2.3x on all mixed ratios",
+        };
+        fig.note(format!("paper: {paper}; measured @50% read = {r:.2}x"));
+    }
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", 100.0) {
+        fig.note(format!(
+            "paper: no improvement on read-only; measured = {r:.2}x"
+        ));
+    }
+    fig
+}
+
+/// Figs. 14/27: latency vs bandwidth, width 18, write-only or 50/50 mix.
+pub(crate) fn latency_vs_bandwidth(id: &str, level: RaidLevel, read_ratio: f64) -> Figure {
+    let qds = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 96.0, 128.0, 192.0];
+    let kind = if read_ratio == 0.0 {
+        "write-only"
+    } else {
+        "50% read + 50% write"
+    };
+    let mut fig = Figure::new(
+        id,
+        format!(
+            "{} latency vs bandwidth ({kind}, 18 targets)",
+            level_suffix(level)
+        ),
+        "queue depth",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&qds, |system, qd| {
+        (
+            Scenario::paper(system).level(level).width(18),
+            FioJob::mixed(read_ratio, 128 * 1024).queue_depth(qd as usize),
+        )
+    });
+    for s in &fig.series {
+        fig.notes.push(format!("{} max bandwidth = {:.0} MB/s", s.label, s.peak()));
+    }
+    let claim = match (level, read_ratio == 0.0) {
+        (RaidLevel::Raid5, true) => {
+            "paper: dRAID ~92 Gbps (11500 MB/s) theoretical, SPDK half of it"
+        }
+        (RaidLevel::Raid5, false) => "paper: dRAID up to 3x SPDK, approaching NIC goodput",
+        (RaidLevel::Raid6, true) => "paper: dRAID max 8692 MB/s write-only (~3x SPDK)",
+        (RaidLevel::Raid6, false) => "paper: dRAID max 15822 MB/s on 50/50 (~3x SPDK)",
+    };
+    fig.note(claim.to_string());
+    fig
+}
+
+/// Figs. 15/28: degraded-state read vs I/O size (one failed member).
+pub(crate) fn degraded_read_vs_io(id: &str, level: RaidLevel) -> Figure {
+    let xs = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let mut fig = Figure::new(
+        id,
+        format!("{} degraded read on different I/O sizes", level_suffix(level)),
+        "I/O size (KiB)",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&xs, |system, kib| {
+        (
+            Scenario::paper(system).level(level).failed(1),
+            FioJob::random_read(kib as u64 * 1024).queue_depth(32),
+        )
+    });
+    // Normal-state reference at 128 KiB for the "95% of normal" claim.
+    let runner = Runner::new();
+    let normal = runner
+        .run(
+            build_array(&Scenario::paper(SystemKind::Draid).level(level)),
+            &FioJob::random_read(128 * 1024).queue_depth(32),
+        )
+        .bandwidth_mb_per_sec;
+    if let Some(p) = fig.series("dRAID").and_then(|s| s.at(128.0)) {
+        fig.note(format!(
+            "paper: dRAID degraded read reaches 95% of normal-state read (SPDK: ~57-61%); measured = {:.0}%",
+            100.0 * p.y / normal
+        ));
+    }
+    if let Some(p) = fig.series("Linux").and_then(|s| s.at(128.0)) {
+        fig.note(format!(
+            "paper: Linux only reaches 834 MB/s; measured = {:.0} MB/s",
+            p.y
+        ));
+    }
+    fig
+}
+
+/// Figs. 16/29: degraded read vs stripe width.
+pub(crate) fn degraded_read_vs_width(id: &str, level: RaidLevel) -> Figure {
+    let xs = [4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0];
+    let mut fig = Figure::new(
+        id,
+        format!(
+            "{} degraded read on different stripe widths",
+            level_suffix(level)
+        ),
+        "stripe width",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&xs, |system, w| {
+        (
+            Scenario::paper(system).level(level).width(w as usize).failed(1),
+            FioJob::random_read(128 * 1024).queue_depth(48),
+        )
+    });
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", 16.0) {
+        fig.note(format!(
+            "paper: dRAID improvement up to 2.4x as width grows; measured @16 = {r:.2}x"
+        ));
+    }
+    fig.note("paper: Linux worsens with width; SPDK peaks near width 6-8 then declines".to_string());
+    fig
+}
+
+/// Fig. 17a: reconstruction scalability — every read reconstructs the failed
+/// member's chunks (rebuild-style load), SPDK vs dRAID.
+pub(crate) fn reconstruction_scalability(id: &str) -> Figure {
+    let xs = [4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0];
+    let mut fig = Figure::new(
+        id,
+        "Reconstruction scalability (all reads degraded)",
+        "stripe width",
+        "MB/s",
+    );
+    let mut specs = Vec::new();
+    for system in [SystemKind::SpdkRaid, SystemKind::Draid] {
+        for &w in &xs {
+            specs.push(PointSpec {
+                label: system.label().to_string(),
+                x: w,
+                scenario: Scenario::paper(system).width(w as usize).failed(1),
+                hetero_slow: 0,
+                job: FioJob::random_read(128 * 1024)
+                    .queue_depth(48)
+                    .target_member(0),
+            });
+        }
+    }
+    fig.series = run_sweep(specs);
+    fig.note(
+        "paper: dRAID near-optimal for all widths; SPDK flattens then declines".to_string(),
+    );
+    fig
+}
+
+/// Fig. 17b: random vs bandwidth-aware reducer selection over a
+/// heterogeneous 25/100 Gbps network, latency vs load.
+pub(crate) fn bandwidth_aware_reconstruction(id: &str) -> Figure {
+    let qds = [4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0];
+    let mut fig = Figure::new(
+        id,
+        "Degraded read with heterogeneous NICs: random vs bandwidth-aware reducer",
+        "queue depth",
+        "MB/s",
+    );
+    let mut specs = Vec::new();
+    for (label, policy) in [
+        ("Random", ReducerPolicy::Random),
+        ("BW-Aware", ReducerPolicy::BandwidthAware),
+    ] {
+        for &qd in &qds {
+            let draid = draid_core::DraidOptions {
+                reducer: policy,
+                ..Default::default()
+            };
+            specs.push(PointSpec {
+                label: label.to_string(),
+                x: qd,
+                scenario: Scenario::paper(SystemKind::Draid).failed(1).draid(draid),
+                hetero_slow: 3,
+                job: FioJob::random_read(128 * 1024)
+                    .queue_depth(qd as usize)
+                    .target_member(0),
+            });
+        }
+    }
+    fig.series = run_sweep(specs);
+    // The paper compares the latency-vs-bandwidth curves; quote bandwidth at
+    // a matched latency budget (like reading a vertical slice of Fig. 17b).
+    let budget_us = 800.0;
+    let at_budget = |label: &str| -> f64 {
+        fig.series(label)
+            .map(|s| {
+                s.points
+                    .iter()
+                    .filter(|p| p.latency_us.unwrap_or(f64::MAX) <= budget_us)
+                    .map(|p| p.y)
+                    .fold(0.0, f64::max)
+            })
+            .unwrap_or(0.0)
+    };
+    let random = at_budget("Random");
+    let aware = at_budget("BW-Aware");
+    fig.note(format!(
+        "paper: bandwidth-aware improves read bandwidth by 53% over random; measured at a {budget_us:.0} us latency budget = {:.0}% ({random:.0} vs {aware:.0} MB/s)",
+        100.0 * (aware / random.max(1.0) - 1.0)
+    ));
+    fig
+}
+
+/// Figs. 18/30: degraded-state write vs I/O size.
+pub(crate) fn degraded_write_vs_io(id: &str, level: RaidLevel) -> Figure {
+    let xs = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let mut fig = Figure::new(
+        id,
+        format!(
+            "{} degraded-state write on different I/O sizes",
+            level_suffix(level)
+        ),
+        "I/O size (KiB)",
+        "MB/s",
+    );
+    fig.series = three_system_sweep(&xs, |system, kib| {
+        (
+            Scenario::paper(system).level(level).failed(1),
+            FioJob::random_write(kib as u64 * 1024).queue_depth(32),
+        )
+    });
+    if let Some(r) = fig.ratio_at("dRAID", "SPDK", 128.0) {
+        let paper = match level {
+            RaidLevel::Raid5 => "1.7x (both ~5% below normal state)",
+            RaidLevel::Raid6 => "2.6x (SPDK -23%, dRAID -11% vs normal)",
+        };
+        fig.note(format!("paper: dRAID/SPDK @128 KiB = {paper}; measured = {r:.2}x"));
+    }
+    fig
+}

@@ -1,0 +1,32 @@
+//! # draid-bench — the paper's evaluation, regenerated
+//!
+//! One experiment per table and figure of §9 and Appendix A of
+//! *Disaggregated RAID Storage in Modern Datacenters* (ASPLOS '23). Each
+//! figure is a [`Figure`]: a set of series over a sweep variable, printed as
+//! the same rows the paper plots, together with the paper's headline claims
+//! for that figure so a run is immediately comparable.
+//!
+//! Binaries in `src/bin/` regenerate individual figures (`fig09` … `fig30`,
+//! `table1`, `ablation`); `all_figures` runs the whole evaluation and emits a
+//! Markdown report. Criterion micro-benchmarks live in `benches/`.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! let fig = draid_bench::figures::by_id("fig10").expect("known figure").build();
+//! println!("{fig}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exp_app;
+mod exp_fio;
+mod exp_misc;
+mod figure;
+pub mod figures;
+mod parallel;
+mod setup;
+
+pub use figure::{Figure, Point, Series};
+pub use setup::{build_array, build_hetero_array, Scenario};

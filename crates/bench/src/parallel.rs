@@ -1,0 +1,60 @@
+//! Parallel sweep execution: every experiment point is an independent
+//! simulation, so points fan out across cores.
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `inputs` on a thread pool, preserving order.
+pub(crate) fn map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(inputs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let Some((idx, input)) = queue.lock().pop() else {
+                    break;
+                };
+                let r = f(input);
+                results.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every input produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! The NVMe drive model.
+
+use draid_sim::{ByteRate, RateResource, Service, SimTime};
+
+/// Performance/health profile of an NVMe drive.
+///
+/// Defaults model the paper's Dell Ent NVMe AGN MU U.2 1.6 TB: ~19 Gbps
+/// (2375 MB/s) sustained random write (§2.3's motivating experiment) and
+/// ~3200 MB/s read, with tens-of-µs access latency.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriveSpec {
+    /// Sustained read bandwidth.
+    pub read_rate: ByteRate,
+    /// Sustained write bandwidth.
+    pub write_rate: ByteRate,
+    /// Fixed read access latency (overlaps across queued I/Os).
+    pub read_latency: SimTime,
+    /// Fixed write access latency (overlaps across queued I/Os).
+    pub write_latency: SimTime,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+}
+
+impl DriveSpec {
+    /// The paper's testbed drive: Dell Ent NVMe AGN MU U.2 1.6 TB.
+    pub fn dell_ent_nvme() -> Self {
+        DriveSpec {
+            read_rate: ByteRate::from_mb_per_sec(3200.0),
+            write_rate: ByteRate::from_mb_per_sec(2375.0), // ~19 Gbps
+            read_latency: SimTime::from_micros(80),
+            write_latency: SimTime::from_micros(20),
+            capacity: 1_600_000_000_000,
+        }
+    }
+}
+
+impl Default for DriveSpec {
+    fn default() -> Self {
+        Self::dell_ent_nvme()
+    }
+}
+
+/// Health of a drive (§5.4's failure model: transient or prolonged).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriveState {
+    /// Serving I/O normally.
+    Healthy,
+    /// Temporarily unreachable (network jitter, resets) until the given time.
+    Transient(SimTime),
+    /// Permanently failed; a RAID array marks the member faulty.
+    Failed,
+}
+
+/// Error returned when a drive cannot serve an I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriveError {
+    /// The drive is in a transient failure window; retry later.
+    TransientFailure {
+        /// When the drive becomes reachable again.
+        until: SimTime,
+    },
+    /// The drive is permanently failed.
+    Failed,
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::TransientFailure { until } => {
+                write!(f, "drive transiently unavailable until {until}")
+            }
+            DriveError::Failed => write!(f, "drive permanently failed"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// A simulated NVMe drive.
+///
+/// Reads and writes share one FIFO channel (the drive's controller/flash
+/// bus), each charged at its direction's rate; a fixed access latency is
+/// added *after* the channel, so latency overlaps across queued I/Os while
+/// bandwidth remains the contended resource — the behaviour that makes
+/// "queuing I/Os as soon as possible" profitable for dRAID's pipeline (§5.3).
+#[derive(Clone, Debug)]
+pub struct Drive {
+    spec: DriveSpec,
+    channel: RateResource,
+    state: DriveState,
+    qos: Option<crate::TokenBucket>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Drive {
+    /// Creates a healthy drive.
+    pub fn new(spec: DriveSpec) -> Self {
+        Drive {
+            spec,
+            channel: RateResource::new(spec.read_rate),
+            state: DriveState::Healthy,
+            qos: None,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Installs (or clears) a §5.5 per-tenant rate limit: I/Os are shaped
+    /// through the token bucket before reaching the channel.
+    pub fn set_qos(&mut self, qos: Option<crate::TokenBucket>) {
+        self.qos = qos;
+    }
+
+    /// The drive's profile.
+    pub fn spec(&self) -> &DriveSpec {
+        &self.spec
+    }
+
+    /// Current health, given the clock (transient windows expire on their
+    /// own).
+    pub fn state(&self, now: SimTime) -> DriveState {
+        match self.state {
+            DriveState::Transient(until) if now >= until => DriveState::Healthy,
+            s => s,
+        }
+    }
+
+    /// Injects a transient failure lasting `duration` from `now`.
+    pub fn fail_transiently(&mut self, now: SimTime, duration: SimTime) {
+        if self.state != DriveState::Failed {
+            self.state = DriveState::Transient(now + duration);
+        }
+    }
+
+    /// Permanently fails the drive.
+    pub fn fail_permanently(&mut self) {
+        self.state = DriveState::Failed;
+    }
+
+    /// Replaces the drive with a healthy one (hot-spare swap from the shared
+    /// storage pool, Table 1).
+    pub fn replace(&mut self) {
+        self.state = DriveState::Healthy;
+        self.channel = RateResource::new(self.spec.read_rate);
+        self.qos = None;
+        self.reads = 0;
+        self.writes = 0;
+    }
+
+    /// Queues a read of `bytes`. Returns the service window whose `end`
+    /// includes the access latency.
+    ///
+    /// # Errors
+    ///
+    /// [`DriveError`] if the drive is failed or in a transient window.
+    pub fn read(&mut self, now: SimTime, bytes: u64) -> Result<Service, DriveError> {
+        self.check(now)?;
+        self.reads += 1;
+        let start = self.shape(now, bytes);
+        let svc = self
+            .channel
+            .serve_at_rate(start, bytes, self.spec.read_rate);
+        Ok(Service {
+            start: svc.start,
+            end: svc.end + self.spec.read_latency,
+        })
+    }
+
+    /// Queues a write of `bytes`. Returns the service window whose `end`
+    /// includes the access latency.
+    ///
+    /// # Errors
+    ///
+    /// [`DriveError`] if the drive is failed or in a transient window.
+    pub fn write(&mut self, now: SimTime, bytes: u64) -> Result<Service, DriveError> {
+        self.check(now)?;
+        self.writes += 1;
+        let start = self.shape(now, bytes);
+        let svc = self
+            .channel
+            .serve_at_rate(start, bytes, self.spec.write_rate);
+        Ok(Service {
+            start: svc.start,
+            end: svc.end + self.spec.write_latency,
+        })
+    }
+
+    fn shape(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        match &mut self.qos {
+            Some(bucket) => bucket.admit(now, bytes),
+            None => now,
+        }
+    }
+
+    fn check(&mut self, now: SimTime) -> Result<(), DriveError> {
+        match self.state(now) {
+            DriveState::Healthy => {
+                self.state = DriveState::Healthy;
+                Ok(())
+            }
+            DriveState::Transient(until) => Err(DriveError::TransientFailure { until }),
+            DriveState::Failed => Err(DriveError::Failed),
+        }
+    }
+
+    /// Completed read count.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Completed write count.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes moved through the channel.
+    pub fn bytes_served(&self) -> u64 {
+        self.channel.bytes_served()
+    }
+
+    /// Cumulative channel busy time.
+    pub fn busy_time(&self) -> SimTime {
+        self.channel.busy_time()
+    }
+
+    /// Resets traffic counters (not health or queue state).
+    pub fn reset_counters(&mut self) {
+        self.channel.reset_counters();
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive() -> Drive {
+        Drive::new(DriveSpec {
+            read_rate: ByteRate::from_mb_per_sec(2.0),
+            write_rate: ByteRate::from_mb_per_sec(1.0),
+            read_latency: SimTime::from_micros(80),
+            write_latency: SimTime::from_micros(20),
+            capacity: 1 << 30,
+        })
+    }
+
+    #[test]
+    fn read_write_rates_differ_on_shared_channel() {
+        let mut d = drive();
+        let r = d.read(SimTime::ZERO, 1_000_000).unwrap(); // 0.5 s + 80 us
+        let w = d.write(SimTime::ZERO, 1_000_000).unwrap(); // queued: +1 s + 20 us
+        assert_eq!(r.end, SimTime::from_micros(500_080));
+        assert_eq!(w.end, SimTime::from_micros(1_500_020));
+        assert_eq!(d.reads(), 1);
+        assert_eq!(d.writes(), 1);
+        assert_eq!(d.bytes_served(), 2_000_000);
+    }
+
+    #[test]
+    fn latency_is_post_channel() {
+        let mut d = drive();
+        let a = d.read(SimTime::ZERO, 2_000).unwrap(); // 1 ms channel
+        let b = d.read(SimTime::ZERO, 2_000).unwrap();
+        // b waits only for a's channel time, not a's access latency.
+        assert_eq!(b.start, a.end - SimTime::from_micros(80));
+        assert_eq!(b.end, SimTime::from_micros(2_080));
+    }
+
+    #[test]
+    fn transient_failure_expires() {
+        let mut d = drive();
+        d.fail_transiently(SimTime::ZERO, SimTime::from_millis(10));
+        assert_eq!(
+            d.read(SimTime::from_millis(1), 512),
+            Err(DriveError::TransientFailure {
+                until: SimTime::from_millis(10)
+            })
+        );
+        assert!(d.read(SimTime::from_millis(10), 512).is_ok());
+        assert_eq!(d.state(SimTime::from_millis(11)), DriveState::Healthy);
+    }
+
+    #[test]
+    fn permanent_failure_and_replace() {
+        let mut d = drive();
+        d.fail_permanently();
+        assert_eq!(d.write(SimTime::ZERO, 512), Err(DriveError::Failed));
+        // Transient injection cannot resurrect a failed drive.
+        d.fail_transiently(SimTime::ZERO, SimTime::from_millis(1));
+        assert_eq!(d.write(SimTime::from_secs(1), 512), Err(DriveError::Failed));
+        d.replace();
+        assert!(d.write(SimTime::from_secs(1), 512).is_ok());
+    }
+
+    #[test]
+    fn default_spec_is_paper_drive() {
+        let spec = DriveSpec::default();
+        assert!((spec.write_rate.as_gbps() - 19.0).abs() < 0.1);
+        assert_eq!(spec.capacity, 1_600_000_000_000);
+    }
+}
+
+#[cfg(test)]
+mod qos_tests {
+    use super::*;
+    use crate::TokenBucket;
+
+    #[test]
+    fn qos_caps_drive_throughput() {
+        let mut d = Drive::new(DriveSpec::dell_ent_nvme());
+        d.set_qos(Some(TokenBucket::new(
+            ByteRate::from_mb_per_sec(100.0),
+            128 * 1024,
+        )));
+        // 100 x 128 KiB writes: raw drive does ~2375 MB/s, the bucket shapes
+        // to 100 MB/s => ~13.1 MB / 100 MB/s ≈ 130 ms (minus one burst).
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            last = d.write(SimTime::ZERO, 128 * 1024).unwrap().end;
+        }
+        let ms = last.as_millis_f64();
+        assert!((115.0..140.0).contains(&ms), "shaped completion at {ms} ms");
+
+        // Without QoS the same burst finishes in ~6 ms.
+        let mut fast = Drive::new(DriveSpec::dell_ent_nvme());
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            last = fast.write(SimTime::ZERO, 128 * 1024).unwrap().end;
+        }
+        assert!(last.as_millis_f64() < 10.0);
+    }
+}

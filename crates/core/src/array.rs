@@ -1,0 +1,574 @@
+//! The simulated RAID array: world state, admission, completion, and member
+//! health management.
+//!
+//! [`ArraySim`] is the discrete-event world. User I/Os are split into
+//! per-stripe operations, admitted through the stripe lock table (§3), and
+//! compiled to DAGs by the configured system's builder; the executor in
+//! [`crate::exec`] runs the DAGs on the cluster's resources. Completions and
+//! failures flow back here, driving retries (§5.4), member fault marking, and
+//! user-visible results.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use draid_block::{Cluster, ServerId};
+use draid_net::NodeId;
+use draid_sim::{DetRng, Engine, SimTime};
+
+use crate::config::{ArrayConfig, DataMode, ReducerPolicy, SystemKind};
+use crate::datastore::ChunkStore;
+use crate::exec::OpState;
+use crate::io::{IoError, IoId, IoKind, IoResult, UserIo};
+use crate::layout::Layout;
+use crate::lock::LockTable;
+use crate::reducer::ReducerSelector;
+use crate::stats::ArrayStats;
+
+/// Callback invoked when a user I/O completes (drives closed-loop workloads).
+pub type CompletionHook = Box<dyn FnOnce(&mut ArraySim, &mut Engine<ArraySim>, &IoResult)>;
+
+pub(crate) struct UserState {
+    pub io: UserIo,
+    pub submitted: SimTime,
+    pub pending: usize,
+    pub degraded: bool,
+    pub error: Option<IoError>,
+    pub read_buf: Option<Vec<u8>>,
+}
+
+/// Window-based available-bandwidth probe feeding the §6.2 selector.
+struct BwProbe {
+    prev_busy: Vec<SimTime>,
+    prev_time: SimTime,
+    period: SimTime,
+}
+
+impl BwProbe {
+    fn new(members: usize) -> Self {
+        BwProbe {
+            prev_busy: vec![SimTime::ZERO; members],
+            prev_time: SimTime::ZERO,
+            period: SimTime::from_millis(10),
+        }
+    }
+}
+
+/// The simulated RAID array over a [`Cluster`] — the world type of the
+/// discrete-event engine.
+pub struct ArraySim {
+    /// The hardware substrate (public: experiments inspect resource
+    /// counters and inject failures through it).
+    pub cluster: Cluster,
+    pub(crate) cfg: ArrayConfig,
+    pub(crate) layout: Layout,
+    pub(crate) member_nodes: Vec<NodeId>,
+    pub(crate) member_servers: Vec<ServerId>,
+    pub(crate) faulty: HashSet<usize>,
+    member_errors: Vec<(u32, SimTime)>,
+    pub(crate) locks: LockTable,
+    pub(crate) ops: Vec<Option<OpState>>,
+    pub(crate) free_ops: Vec<usize>,
+    pub(crate) next_gen: u64,
+    pub(crate) users: HashMap<u64, UserState>,
+    next_io: u64,
+    pub(crate) store: Option<ChunkStore>,
+    pub(crate) selector: ReducerSelector,
+    bw_probe: BwProbe,
+    pub(crate) rng: DetRng,
+    /// Running user-level statistics.
+    pub stats: ArrayStats,
+    completions: VecDeque<IoResult>,
+    pub(crate) hooks: HashMap<u64, CompletionHook>,
+    pub(crate) rebuild: Option<crate::rebuild::RebuildState>,
+    pub(crate) scrub: Option<crate::scrub::ScrubState>,
+    pub(crate) tracer: Option<crate::trace::Tracer>,
+    pub(crate) bitmap: crate::bitmap::WriteIntentBitmap,
+    pub(crate) volumes: crate::volume::VolumeTable,
+    pub(crate) volume_cursor: u64,
+    pub(crate) user_volumes: HashMap<u64, crate::volume::VolumeId>,
+}
+
+impl std::fmt::Debug for ArraySim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArraySim")
+            .field("system", &self.cfg.system)
+            .field("level", &self.cfg.level)
+            .field("width", &self.cfg.width)
+            .field("faulty", &self.faulty)
+            .field("inflight_ops", &(self.ops.len() - self.free_ops.len()))
+            .finish()
+    }
+}
+
+impl ArraySim {
+    /// Creates an array over the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the configuration is inconsistent or the cluster
+    /// has fewer servers than the stripe width.
+    pub fn new(cluster: Cluster, cfg: ArrayConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        if cluster.width() < cfg.width {
+            return Err(format!(
+                "cluster has {} servers but the array needs {}",
+                cluster.width(),
+                cfg.width
+            ));
+        }
+        let layout = Layout::new(&cfg);
+        let member_servers: Vec<ServerId> = (0..cfg.width).map(ServerId).collect();
+        let member_nodes: Vec<NodeId> = member_servers
+            .iter()
+            .map(|&s| cluster.server_node(s))
+            .collect();
+        let store = (cfg.data_mode == DataMode::Full).then(|| ChunkStore::new(layout));
+        Ok(ArraySim {
+            cluster,
+            layout,
+            member_nodes,
+            member_servers,
+            faulty: HashSet::new(),
+            member_errors: vec![(0, SimTime::ZERO); cfg.width],
+            locks: LockTable::new(),
+            ops: Vec::new(),
+            free_ops: Vec::new(),
+            next_gen: 1,
+            users: HashMap::new(),
+            next_io: 1,
+            store,
+            selector: ReducerSelector::new(cfg.width),
+            bw_probe: BwProbe::new(cfg.width),
+            rng: DetRng::new(cfg.seed),
+            stats: ArrayStats::new(),
+            completions: VecDeque::new(),
+            hooks: HashMap::new(),
+            rebuild: None,
+            scrub: None,
+            tracer: None,
+            bitmap: crate::bitmap::WriteIntentBitmap::new(),
+            volumes: crate::volume::VolumeTable::new(),
+            volume_cursor: 0,
+            user_volumes: HashMap::new(),
+            cfg,
+        })
+    }
+
+    /// The array's configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    /// The stripe geometry.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Whether at least one member is faulty.
+    pub fn is_degraded(&self) -> bool {
+        !self.faulty.is_empty()
+    }
+
+    /// Whether more members failed than the level tolerates.
+    pub fn is_failed(&self) -> bool {
+        self.faulty.len() > self.cfg.level.parity_count()
+    }
+
+    /// Currently faulty member indices.
+    pub fn faulty_members(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.faulty.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The chunk store, when running with a full data plane.
+    pub fn store(&self) -> Option<&ChunkStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable chunk-store access (fault injection in tests and examples).
+    pub fn store_mut(&mut self) -> Option<&mut ChunkStore> {
+        self.store.as_mut()
+    }
+
+    /// Submits a user I/O; the result is later available via
+    /// [`ArraySim::drain_completions`].
+    pub fn submit(&mut self, eng: &mut Engine<ArraySim>, io: UserIo) -> IoId {
+        self.submit_with_hook(eng, io, None)
+    }
+
+    /// Submits a user I/O with a completion hook (closed-loop drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the I/O has zero length, or a full-data-mode write's payload
+    /// length disagrees with `len`.
+    pub fn submit_with_hook(
+        &mut self,
+        eng: &mut Engine<ArraySim>,
+        io: UserIo,
+        hook: Option<CompletionHook>,
+    ) -> IoId {
+        let id = self.reserve_io_id();
+        self.submit_reserved_inner(eng, id, io, hook);
+        IoId(id)
+    }
+
+    /// Pre-allocates a user-I/O id (volume admission shaping submits later
+    /// under the id it already returned to the caller).
+    pub(crate) fn reserve_io_id(&mut self) -> u64 {
+        let id = self.next_io;
+        self.next_io += 1;
+        id
+    }
+
+    /// Submits under a previously reserved id (the delayed leg of a
+    /// volume-shaped admission).
+    pub(crate) fn submit_reserved(
+        &mut self,
+        eng: &mut Engine<ArraySim>,
+        id: u64,
+        io: UserIo,
+        volume: Option<crate::volume::VolumeId>,
+        requested_at: SimTime,
+    ) {
+        if let Some(v) = volume {
+            self.tag_volume(id, v);
+        }
+        self.submit_reserved_inner(eng, id, io, None);
+        // The tenant asked earlier; admission shaping is part of its latency.
+        if let Some(user) = self.users.get_mut(&id) {
+            user.submitted = requested_at;
+        }
+    }
+
+    fn submit_reserved_inner(
+        &mut self,
+        eng: &mut Engine<ArraySim>,
+        id: u64,
+        io: UserIo,
+        hook: Option<CompletionHook>,
+    ) {
+        assert!(io.len > 0, "zero-length I/O");
+        if let Some(data) = &io.data {
+            assert_eq!(data.len() as u64, io.len, "payload length mismatch");
+        }
+        if let Some(h) = hook {
+            self.hooks.insert(id, h);
+        }
+
+        if self.is_failed() {
+            let user = UserState {
+                submitted: eng.now(),
+                pending: 0,
+                degraded: false,
+                error: Some(IoError::ArrayFailed),
+                read_buf: None,
+                io,
+            };
+            self.users.insert(id, user);
+            eng.schedule_in(SimTime::ZERO, move |w: &mut ArraySim, eng| {
+                w.complete_user(eng, id);
+            });
+            return;
+        }
+
+        let stripe_ios = self.layout.map(io.offset, io.len);
+        let needs_read_buf =
+            io.kind == IoKind::Read && self.cfg.data_mode == DataMode::Full;
+        let user = UserState {
+            submitted: eng.now(),
+            pending: stripe_ios.len(),
+            degraded: false,
+            error: None,
+            read_buf: needs_read_buf.then(|| vec![0u8; io.len as usize]),
+            io,
+        };
+        let kind = user.io.kind;
+        self.users.insert(id, user);
+
+        for sio in stripe_ios {
+            let stripe = sio.stripe;
+            if kind == IoKind::Write {
+                // §5.4 host-failure recovery: record the write intent before
+                // any remote I/O is issued.
+                self.bitmap.mark(stripe);
+            }
+            let gen = self.fresh_gen();
+            let idx = self.alloc_op(OpState::new(gen, id, sio, kind));
+            let needs_lock = kind == IoKind::Write || self.reads_locked();
+            if needs_lock {
+                self.ops[idx].as_mut().expect("fresh op").holds_lock = true;
+                if self.locks.acquire(stripe, idx) {
+                    self.launch_op(eng, idx);
+                }
+                // else: launched when the holder releases.
+            } else {
+                self.launch_op(eng, idx);
+            }
+        }
+    }
+
+    /// Whether this configuration serializes reads through stripe locks.
+    pub(crate) fn reads_locked(&self) -> bool {
+        self.cfg.system != SystemKind::Draid || !self.cfg.draid.lockfree_read
+    }
+
+    /// Takes all completions produced so far.
+    pub fn drain_completions(&mut self) -> Vec<IoResult> {
+        self.completions.drain(..).collect()
+    }
+
+    /// Permanently fails a member: the drive errors out and the array enters
+    /// degraded state immediately (the §9.4/§9.5 experiment setup).
+    pub fn fail_member(&mut self, member: usize) {
+        assert!(member < self.cfg.width, "member out of range");
+        self.cluster.drive_mut(self.member_servers[member]).fail_permanently();
+        self.mark_faulty(member);
+    }
+
+    /// Injects a transient failure (§5.4: network jitter / resets). The host
+    /// discovers it through timeouts and retries; the member becomes faulty
+    /// only if errors persist past the threshold.
+    pub fn inject_transient(&mut self, now: SimTime, member: usize, duration: SimTime) {
+        assert!(member < self.cfg.width, "member out of range");
+        self.cluster
+            .drive_mut(self.member_servers[member])
+            .fail_transiently(now, duration);
+    }
+
+    pub(crate) fn mark_faulty(&mut self, member: usize) {
+        if self.faulty.insert(member) {
+            self.cluster
+                .drive_mut(self.member_servers[member])
+                .fail_permanently();
+            if let Some(store) = &mut self.store {
+                store.drop_member(member);
+            }
+        }
+    }
+
+    /// Records a drive error toward the §5.4 prolonged-failure detector.
+    /// Errors within one op-deadline window count once (a single burst of
+    /// failing retries is one piece of evidence, not many), and any
+    /// successful drive I/O resets the count — so only failures that
+    /// *persist* across several deadline windows fault the member.
+    pub(crate) fn note_member_error(&mut self, now: SimTime, member: usize) {
+        if member >= self.member_errors.len() {
+            return; // spare drives are outside the member error table
+        }
+        // Evidence window: the first-retry backoff (deadline/8), so each
+        // failed attempt of an op's retry ladder counts separately while a
+        // single attempt's burst of leg errors counts once.
+        let window = SimTime::from_nanos(self.cfg.op_deadline.as_nanos() / 8);
+        let (count, last) = &mut self.member_errors[member];
+        if *count > 0 && now.saturating_sub(*last) < window {
+            return;
+        }
+        *count += 1;
+        *last = now;
+        if *count >= self.cfg.fault_threshold {
+            self.mark_faulty(member);
+        }
+    }
+
+    /// A successful drive I/O proves the member is alive.
+    pub(crate) fn note_member_success(&mut self, member: usize) {
+        if let Some(slot) = self.member_errors.get_mut(member) {
+            *slot = (0, SimTime::ZERO);
+        }
+    }
+
+    pub(crate) fn reset_member_errors(&mut self, member: usize) {
+        self.member_errors[member] = (0, SimTime::ZERO);
+    }
+
+    pub(crate) fn fresh_gen(&mut self) -> u64 {
+        let g = self.next_gen;
+        self.next_gen += 1;
+        g
+    }
+
+    pub(crate) fn alloc_op(&mut self, op: OpState) -> usize {
+        if let Some(idx) = self.free_ops.pop() {
+            self.ops[idx] = Some(op);
+            idx
+        } else {
+            self.ops.push(Some(op));
+            self.ops.len() - 1
+        }
+    }
+
+    /// Chooses the reducer for a degraded read on `stripe` (§6): uniformly at
+    /// random, or by the bandwidth-aware probabilities.
+    pub(crate) fn choose_reducer(&mut self, now: SimTime, stripe: u64) -> usize {
+        let mut eligible: Vec<usize> = (0..self.layout.data_chunks())
+            .map(|k| self.layout.data_member(stripe, k))
+            .chain(std::iter::once(self.layout.p_member(stripe)))
+            .filter(|m| !self.faulty.contains(m))
+            .collect();
+        eligible.sort_unstable();
+        assert!(!eligible.is_empty(), "no eligible reducer");
+        match self.cfg.draid.reducer {
+            ReducerPolicy::Random => {
+                eligible[self.rng.below(eligible.len() as u64) as usize]
+            }
+            ReducerPolicy::BandwidthAware => {
+                self.maybe_update_selector(now);
+                self.selector.choose(&mut self.rng, &eligible)
+            }
+        }
+    }
+
+    fn maybe_update_selector(&mut self, now: SimTime) {
+        let elapsed = now.saturating_sub(self.bw_probe.prev_time);
+        if elapsed < self.bw_probe.period {
+            return;
+        }
+        let mut available = Vec::with_capacity(self.cfg.width);
+        for m in 0..self.cfg.width {
+            let node = self.member_nodes[m];
+            let busy = self.cluster.fabric().egress_busy(node);
+            let delta = busy.saturating_sub(self.bw_probe.prev_busy[m]);
+            let util = (delta.as_secs_f64() / elapsed.as_secs_f64()).min(1.0);
+            let rate = self.cluster.fabric().node_rate(node).bytes_per_sec() as f64;
+            available.push(rate * (1.0 - util));
+            self.bw_probe.prev_busy[m] = busy;
+        }
+        self.bw_probe.prev_time = now;
+        self.selector.update(now, &available);
+    }
+
+    /// Finishes bookkeeping for a completed user I/O and notifies hooks.
+    pub(crate) fn complete_user(&mut self, eng: &mut Engine<ArraySim>, id: u64) {
+        let user = self.users.remove(&id).expect("unknown user io");
+        debug_assert_eq!(user.pending, 0);
+        let now = eng.now();
+        let latency = now.saturating_sub(user.submitted);
+        let ok = user.error.is_none();
+        self.account_volume(id, user.io.kind, user.io.len, latency, ok);
+        if ok {
+            match user.io.kind {
+                IoKind::Read => {
+                    self.stats.reads += 1;
+                    self.stats.bytes_read += user.io.len;
+                    self.stats.read_latency.record(latency);
+                }
+                IoKind::Write => {
+                    self.stats.writes += 1;
+                    self.stats.bytes_written += user.io.len;
+                    self.stats.write_latency.record(latency);
+                }
+            }
+            if user.degraded {
+                self.stats.degraded_ios += 1;
+            }
+        } else {
+            self.stats.failed_ios += 1;
+        }
+        let result = IoResult {
+            id: IoId(id),
+            kind: user.io.kind,
+            offset: user.io.offset,
+            len: user.io.len,
+            submitted: user.submitted,
+            completed: now,
+            data: user.read_buf.map(bytes::Bytes::from),
+            error: user.error,
+        };
+        if let Some(hook) = self.hooks.remove(&id) {
+            hook(self, eng, &result);
+        }
+        self.completions.push_back(result);
+    }
+
+    /// The §5.4 write-intent bitmap (stripes whose writes are in flight).
+    pub fn write_intent(&self) -> &crate::bitmap::WriteIntentBitmap {
+        &self.bitmap
+    }
+
+    /// Simulates a host-controller crash and restart (§5.4 "host failures"):
+    /// every in-flight operation and queued stripe lock is lost, outstanding
+    /// user I/Os never complete (their issuer is gone), and the write-intent
+    /// bitmap drives a parity resync of only the dirty stripes — no
+    /// full-array scan. Returns the stripes being resynced.
+    pub fn simulate_host_crash(&mut self, eng: &mut Engine<ArraySim>) -> Vec<u64> {
+        // The crashed controller's state evaporates. Generation checks make
+        // the old engine events no-ops against the cleared slots.
+        for slot in &mut self.ops {
+            *slot = None;
+        }
+        self.free_ops = (0..self.ops.len()).rev().collect();
+        self.users.clear();
+        self.hooks.clear();
+        self.locks = LockTable::new();
+        self.rebuild = None;
+        self.scrub = None;
+
+        let dirty = self.bitmap.dirty_stripes();
+        for &stripe in &dirty {
+            self.resync_stripe(eng, stripe);
+        }
+        dirty
+    }
+
+    /// Rewrites one stripe's parity from its data (md's `repair` sync
+    /// action) — the follow-up to a scrub finding. Read-modify-write would
+    /// *preserve* a corrupted parity chunk (it only applies deltas), so
+    /// repair must re-encode from scratch, which is exactly the resync op.
+    pub fn repair_stripe(&mut self, eng: &mut Engine<ArraySim>, stripe: u64) {
+        self.resync_stripe(eng, stripe);
+    }
+
+    /// Launches a parity resync of one stripe: a reconstruct-write with no
+    /// new data — every surviving data chunk is read and the parity
+    /// rewritten from scratch, guaranteeing consistency regardless of where
+    /// the crashed write stopped.
+    fn resync_stripe(&mut self, eng: &mut Engine<ArraySim>, stripe: u64) {
+        let io = crate::layout::StripeIo {
+            stripe,
+            buf_offset: 0,
+            segments: Vec::new(),
+        };
+        let gen = self.fresh_gen();
+        let mut op = OpState::new(gen, 0, io, IoKind::Write);
+        op.force_rcw = true;
+        op.holds_lock = true;
+        let idx = self.alloc_op(op);
+        if self.locks.acquire(stripe, idx) {
+            self.launch_op(eng, idx);
+        }
+    }
+
+    /// Enables step-level tracing with a bounded buffer; see
+    /// [`crate::trace::Tracer`].
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Some(crate::trace::Tracer::new(capacity));
+    }
+
+    /// The trace captured so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&crate::trace::Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Stops tracing and returns the captured trace.
+    pub fn take_trace(&mut self) -> Option<crate::trace::Tracer> {
+        self.tracer.take()
+    }
+
+    /// Resets measurement counters (stats + cluster resources) at the end of
+    /// a warm-up phase.
+    pub fn reset_measurement(&mut self) {
+        self.stats.reset();
+        self.cluster.reset_counters();
+    }
+
+    /// One past the highest user-I/O id issued so far (diagnostics).
+    pub fn issued_ios(&self) -> u64 {
+        self.next_io - 1
+    }
+
+    /// Number of stripe operations currently in flight.
+    pub fn inflight_ops(&self) -> usize {
+        self.ops.iter().flatten().count()
+    }
+}

@@ -1,0 +1,459 @@
+//! The DAG executor: runs stripe-operation DAGs on the cluster's resources,
+//! with per-op deadlines, failure propagation, and full-stripe retry (§5.4).
+
+use draid_sim::{Engine, SimTime};
+
+use crate::array::ArraySim;
+use crate::builders::{self, BuildCtx, Purpose};
+use crate::dag::{Dag, StepKind};
+use crate::io::{IoError, IoKind};
+use crate::layout::{StripeIo, WriteMode};
+
+/// Why a stripe operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpFailure {
+    /// A member drive refused the I/O (transient or permanent).
+    MemberError(usize),
+    /// The explicit per-op deadline expired.
+    Timeout,
+}
+
+/// One in-flight stripe operation.
+pub(crate) struct OpState {
+    /// Generation tag: events carry `(idx, gen)` and are ignored if the slot
+    /// was recycled.
+    pub gen: u64,
+    pub user: u64,
+    pub io: StripeIo,
+    pub kind: IoKind,
+    /// Decided at launch; `None` until then.
+    pub purpose: Option<Purpose>,
+    pub dag: Dag,
+    dependents: Vec<Vec<usize>>,
+    unmet: Vec<u32>,
+    done: Vec<bool>,
+    remaining: usize,
+    pub holds_lock: bool,
+    pub retries: u32,
+    /// Set when this op is a background rebuild of the given member.
+    pub rebuild_of: Option<usize>,
+    /// Forces reconstruct-write mode (parity resync ops, §5.4).
+    pub force_rcw: bool,
+    /// Set when this op is a background scrub check.
+    pub scrub: bool,
+    launched: bool,
+}
+
+impl OpState {
+    pub fn new(gen: u64, user: u64, io: StripeIo, kind: IoKind) -> Self {
+        OpState {
+            gen,
+            user,
+            io,
+            kind,
+            purpose: None,
+            dag: Dag::new(),
+            dependents: Vec::new(),
+            unmet: Vec::new(),
+            done: Vec::new(),
+            remaining: 0,
+            holds_lock: false,
+            retries: 0,
+            rebuild_of: None,
+            force_rcw: false,
+            scrub: false,
+            launched: false,
+        }
+    }
+
+    fn install_dag(&mut self, dag: Dag) {
+        let n = dag.len();
+        let mut dependents = vec![Vec::new(); n];
+        let mut unmet = vec![0u32; n];
+        for (id, step) in dag.iter() {
+            unmet[id] = step.deps.len() as u32;
+            for &d in &step.deps {
+                dependents[d].push(id);
+            }
+        }
+        self.dag = dag;
+        self.dependents = dependents;
+        self.unmet = unmet;
+        self.done = vec![false; n];
+        self.remaining = n;
+        self.launched = true;
+    }
+}
+
+impl ArraySim {
+    /// Admits an op: decides the purpose from current array health, builds
+    /// the system DAG, arms the deadline, and starts the root steps.
+    pub(crate) fn launch_op(&mut self, eng: &mut Engine<ArraySim>, idx: usize) {
+        let now = eng.now();
+        if self.is_failed() {
+            self.finish_op(eng, idx, Some(OpFailure::MemberError(0)), true);
+            return;
+        }
+        let (io, kind, retries, force_rcw) = {
+            let op = self.ops[idx].as_ref().expect("launch of missing op");
+            (op.io.clone(), op.kind, op.retries, op.force_rcw)
+        };
+        let stripe = io.stripe;
+        let stripe_degraded = self.stripe_degraded(stripe, &io);
+        let purpose = match kind {
+            IoKind::Read => Purpose::Read {
+                degraded: io.segments.iter().any(|s| self.faulty.contains(&s.member)),
+            },
+            IoKind::Write => {
+                // §5.4: retries always run in the reconstruct-write ("full
+                // stripe") mode to guarantee a consistent parity rewrite.
+                let mode = if retries > 0 || force_rcw {
+                    WriteMode::ReconstructWrite
+                } else {
+                    self.layout.write_mode(&io)
+                };
+                Purpose::Write {
+                    mode,
+                    degraded: stripe_degraded,
+                }
+            }
+        };
+        let reducer = match purpose {
+            Purpose::Read { degraded: true } => {
+                let r = self.choose_reducer(now, stripe);
+                let lost: u64 = io
+                    .segments
+                    .iter()
+                    .filter(|s| self.faulty.contains(&s.member))
+                    .map(|s| s.len)
+                    .sum();
+                self.selector.record_load(lost);
+                Some(r)
+            }
+            _ => None,
+        };
+        let dag = {
+            let ctx = BuildCtx {
+                cfg: &self.cfg,
+                layout: &self.layout,
+                host: self.cluster.host_node(),
+                nodes: &self.member_nodes,
+                servers: &self.member_servers,
+                faulty: &self.faulty,
+                reducer,
+            };
+            builders::build(&ctx, purpose, &io)
+        };
+        {
+            let op = self.ops[idx].as_mut().expect("op vanished");
+            op.purpose = Some(purpose);
+        }
+        self.launch_prebuilt(eng, idx, dag);
+    }
+
+    /// Installs an already-built DAG on the op, arms the §5.4 deadline, and
+    /// starts its root steps. Shared by the system builders and the rebuild
+    /// path, which constructs its own DAGs.
+    pub(crate) fn launch_prebuilt(&mut self, eng: &mut Engine<ArraySim>, idx: usize, dag: Dag) {
+        let gen = {
+            let op = self.ops[idx].as_mut().expect("op vanished");
+            op.install_dag(dag);
+            op.gen
+        };
+        // Arm the explicit timeout (§5.4).
+        eng.schedule_in(self.cfg.op_deadline, move |w: &mut ArraySim, eng| {
+            w.on_timeout(eng, idx, gen);
+        });
+        // Start every dependency-free step.
+        let roots: Vec<usize> = {
+            let op = self.ops[idx].as_ref().expect("op vanished");
+            if op.dag.is_empty() {
+                self.finish_op(eng, idx, None, false);
+                return;
+            }
+            op.dag
+                .iter()
+                .filter(|(i, _)| op.unmet[*i] == 0)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        for sid in roots {
+            self.start_step(eng, idx, sid);
+            if !self.op_live(idx, gen) {
+                return; // op failed and was reaped (slot may be recycled)
+            }
+        }
+    }
+
+    /// Whether slot `idx` still holds the op generation `gen` (a failed op's
+    /// slot can be recycled by a retry or a newly admitted op mid-loop).
+    fn op_live(&self, idx: usize, gen: u64) -> bool {
+        matches!(&self.ops[idx], Some(op) if op.gen == gen)
+    }
+
+    fn stripe_degraded(&self, stripe: u64, _io: &StripeIo) -> bool {
+        if self.faulty.is_empty() {
+            return false;
+        }
+        let p = self.layout.p_member(stripe);
+        if self.faulty.contains(&p) {
+            return true;
+        }
+        if let Some(q) = self.layout.q_member(stripe) {
+            if self.faulty.contains(&q) {
+                return true;
+            }
+        }
+        (0..self.layout.data_chunks())
+            .any(|k| self.faulty.contains(&self.layout.data_member(stripe, k)))
+    }
+
+    fn start_step(&mut self, eng: &mut Engine<ArraySim>, idx: usize, sid: usize) {
+        let now = eng.now();
+        let (kind, gen) = {
+            let op = self.ops[idx].as_ref().expect("step of missing op");
+            (op.dag.step(sid).kind, op.gen)
+        };
+        let end = match kind {
+            StepKind::Transfer { from, to, bytes } => {
+                self.cluster.transfer(now, from, to, bytes).end
+            }
+            StepKind::DriveRead { server, bytes } => {
+                match self.cluster.drive_read(now, server, bytes) {
+                    Ok(svc) => {
+                        self.note_member_success(server.0);
+                        svc.end
+                    }
+                    Err(_) => {
+                        self.op_failed(eng, idx, OpFailure::MemberError(server.0));
+                        return;
+                    }
+                }
+            }
+            StepKind::DriveWrite { server, bytes } => {
+                match self.cluster.drive_write(now, server, bytes) {
+                    Ok(svc) => {
+                        self.note_member_success(server.0);
+                        svc.end
+                    }
+                    Err(_) => {
+                        self.op_failed(eng, idx, OpFailure::MemberError(server.0));
+                        return;
+                    }
+                }
+            }
+            StepKind::Xor { node, bytes } => self.cluster.cpu_mut(node).xor(now, bytes).end,
+            StepKind::GfMul { node, bytes } => self.cluster.cpu_mut(node).gf_mul(now, bytes).end,
+            StepKind::PerIo { node } => self.cluster.cpu_mut(node).per_io(now).end,
+            StepKind::CoreBusy { node, duration } => {
+                self.cluster.cpu_mut(node).busy_for(now, duration).end
+            }
+            StepKind::Delay { duration } => now + duration,
+            StepKind::Join => now,
+        };
+        if let Some(tracer) = &mut self.tracer {
+            let user = self.ops[idx].as_ref().map(|o| o.user).unwrap_or(0);
+            tracer.record(crate::trace::TraceEvent {
+                user,
+                op: idx,
+                step: sid,
+                kind,
+                issued: now,
+                completed: end,
+            });
+        }
+        eng.schedule_at(end, move |w: &mut ArraySim, eng| {
+            w.on_step_done(eng, idx, gen, sid);
+        });
+    }
+
+    fn on_step_done(&mut self, eng: &mut Engine<ArraySim>, idx: usize, gen: u64, sid: usize) {
+        let mut finished = false;
+        let ready: Vec<usize> = {
+            let Some(op) = self.ops[idx].as_mut() else {
+                return; // op already finished/retried
+            };
+            if op.gen != gen || op.done[sid] {
+                return;
+            }
+            op.done[sid] = true;
+            op.remaining -= 1;
+            let mut ready = Vec::new();
+            let dependents = std::mem::take(&mut op.dependents[sid]);
+            for &dep in &dependents {
+                op.unmet[dep] -= 1;
+                if op.unmet[dep] == 0 {
+                    ready.push(dep);
+                }
+            }
+            op.dependents[sid] = dependents;
+            if op.remaining == 0 {
+                debug_assert!(ready.is_empty());
+                finished = true;
+            }
+            ready
+        };
+        if finished {
+            self.finish_op(eng, idx, None, false);
+            return;
+        }
+        for dep in ready {
+            self.start_step(eng, idx, dep);
+            if !self.op_live(idx, gen) {
+                return;
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, eng: &mut Engine<ArraySim>, idx: usize, gen: u64) {
+        let expired = matches!(&self.ops[idx], Some(op) if op.gen == gen && op.remaining > 0);
+        if expired {
+            self.stats.timeouts += 1;
+            self.op_failed(eng, idx, OpFailure::Timeout);
+        }
+    }
+
+    fn op_failed(&mut self, eng: &mut Engine<ArraySim>, idx: usize, why: OpFailure) {
+        if let OpFailure::MemberError(member) = why {
+            self.note_member_error(eng.now(), member);
+        }
+        self.finish_op(eng, idx, Some(why), false);
+    }
+
+    /// Tears down an op: releases/transfers the stripe lock, applies the data
+    /// plane effect on success, and drives retry or user completion.
+    fn finish_op(
+        &mut self,
+        eng: &mut Engine<ArraySim>,
+        idx: usize,
+        failure: Option<OpFailure>,
+        no_retry: bool,
+    ) {
+        let op = self.ops[idx].take().expect("finish of missing op");
+        self.free_ops.push(idx);
+
+        if let Some(member) = op.rebuild_of {
+            self.on_rebuild_op_done(eng, member, op.io.stripe, failure.is_some());
+            return;
+        }
+        if op.scrub {
+            self.on_scrub_op_done(eng, op.io.stripe, failure.is_some());
+            return;
+        }
+
+        let retry = failure.is_some()
+            && !no_retry
+            && op.retries < self.cfg.max_retries
+            && !self.is_failed();
+        if retry {
+            self.stats.retries += 1;
+            let mut next = OpState::new(self.fresh_gen(), op.user, op.io.clone(), op.kind);
+            next.retries = op.retries + 1;
+            next.holds_lock = op.holds_lock;
+            next.force_rcw = op.force_rcw;
+            let new_idx = self.alloc_op(next);
+            if op.holds_lock {
+                self.locks.transfer(op.io.stripe, idx, new_idx);
+            }
+            // Back off before retrying so short transients clear (§5.4: the
+            // host retries only after the op reaches a final state).
+            let backoff = SimTime::from_nanos(
+                self.cfg.op_deadline.as_nanos() / 2u64.pow(3u32.saturating_sub(op.retries.min(3))),
+            );
+            eng.schedule_in(backoff, move |w: &mut ArraySim, eng| {
+                if w.ops[new_idx].is_some() {
+                    w.launch_op(eng, new_idx);
+                }
+            });
+            return;
+        }
+
+        if op.holds_lock {
+            if let Some(next) = self.locks.release(op.io.stripe, idx) {
+                self.launch_op(eng, next);
+            }
+        }
+        if op.kind == IoKind::Write && failure.is_none() && !self.locks.is_locked(op.io.stripe) {
+            // No writer holds or awaits the stripe: parity is persisted and
+            // consistent; the write intent can be cleared (§5.4).
+            self.bitmap.clear(op.io.stripe);
+        }
+
+        // An op that physically completed after the array lost more members
+        // than the level tolerates has no consistent place to land — surface
+        // the array failure rather than acknowledging a lost write.
+        let array_failed = self.is_failed();
+        if failure.is_none() && !array_failed {
+            self.apply_effect(&op);
+        }
+
+        let user_id = op.user;
+        let failure_error = if array_failed {
+            IoError::ArrayFailed
+        } else {
+            IoError::RetriesExhausted
+        };
+        if let Some(user) = self.users.get_mut(&user_id) {
+            if failure.is_some() || array_failed {
+                user.error = Some(failure_error);
+            }
+            if matches!(
+                op.purpose,
+                Some(Purpose::Read { degraded: true }) | Some(Purpose::Write { degraded: true, .. })
+            ) {
+                user.degraded = true;
+            }
+            user.pending -= 1;
+            if user.pending == 0 {
+                self.complete_user(eng, user_id);
+            }
+        }
+    }
+
+    /// Applies the operation's semantic effect to the chunk store (full data
+    /// mode only): writes store data + parity, reads gather (possibly
+    /// reconstructed) bytes into the user buffer.
+    fn apply_effect(&mut self, op: &OpState) {
+        if self.store.is_none() {
+            return;
+        }
+        // A member whose stripe is already rebuilt onto the spare stores
+        // writes directly (the member index now maps to the spare drive).
+        let effective_faulty: std::collections::HashSet<usize> = self
+            .faulty
+            .iter()
+            .copied()
+            .filter(|&m| !self.stripe_rebuilt(op.io.stripe, m))
+            .collect();
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        if self.faulty.len() > self.cfg.level.parity_count() {
+            return; // array failed; nothing consistent to apply
+        }
+        // Internal ops (parity resync) have no user record; their writes
+        // carry no payload and only refresh parity.
+        let user = self.users.get_mut(&op.user);
+        match op.purpose {
+            Some(Purpose::Write { mode, .. }) => {
+                let payload: Vec<u8> = match user.and_then(|u| u.io.data.as_ref()) {
+                    Some(data) => {
+                        let lo = op.io.buf_offset as usize;
+                        let hi = lo + op.io.bytes() as usize;
+                        data[lo..hi].to_vec()
+                    }
+                    None => vec![0u8; op.io.bytes() as usize],
+                };
+                store.apply_write(&op.io, &payload, mode, &effective_faulty);
+            }
+            Some(Purpose::Read { .. }) => {
+                let bytes = store.read(&op.io, &self.faulty);
+                if let Some(buf) = user.and_then(|u| u.read_buf.as_mut()) {
+                    let lo = op.io.buf_offset as usize;
+                    buf[lo..lo + bytes.len()].copy_from_slice(&bytes);
+                }
+            }
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Hot-spare rebuild: background reconstruction of a faulty member onto a
+//! spare drive drawn from the shared storage pool.
+//!
+//! Table 1 contrasts dRAID's "hot spare: storage pool" with the dedicated
+//! spares of single-machine RAID; §6 supplies the mechanism (disaggregated
+//! reconstruction with reducer selection). The rebuilder walks the stripes,
+//! reconstructing the lost chunk of each at a reducer chosen by the
+//! configured §6 policy and writing it to the spare — peer-to-peer, without
+//! the data ever crossing the host NIC. A bounded number of stripes rebuilds
+//! concurrently so foreground I/O keeps flowing (§6.2's "RAID array is kept
+//! online during recovery").
+//!
+//! Writes that land on already-rebuilt stripes are stored to the spare
+//! directly; writes ahead of the cursor stay parity-encoded and are picked
+//! up when the cursor reaches them, so the array is consistent at every
+//! instant and fully healthy when the rebuild completes.
+
+use draid_block::ServerId;
+use draid_sim::{Engine, SimTime};
+
+use crate::array::ArraySim;
+use crate::dag::{Dag, StepKind};
+use crate::exec::OpState;
+use crate::io::IoKind;
+use crate::layout::{Segment, StripeIo};
+
+/// Progress of an in-flight rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RebuildStatus {
+    /// Member being rebuilt.
+    pub member: usize,
+    /// Spare server receiving the reconstructed chunks.
+    pub spare: ServerId,
+    /// Stripes fully rebuilt so far.
+    pub rebuilt: u64,
+    /// Total stripes to rebuild.
+    pub total: u64,
+    /// Concurrent stripe reconstructions configured.
+    pub concurrency: usize,
+    /// When the rebuild started.
+    pub started: SimTime,
+}
+
+impl RebuildStatus {
+    /// Completion fraction in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.rebuilt as f64 / self.total as f64
+        }
+    }
+}
+
+pub(crate) struct RebuildState {
+    pub member: usize,
+    pub spare: ServerId,
+    pub next_stripe: u64,
+    pub completed: u64,
+    pub total: u64,
+    pub inflight: usize,
+    pub concurrency: usize,
+    pub started: SimTime,
+    pub failures: u64,
+}
+
+impl ArraySim {
+    /// Starts rebuilding faulty `member` onto `spare` (a server beyond the
+    /// array width, i.e. a drive from the shared pool). `stripes` is the
+    /// extent of the used region; `concurrency` bounds simultaneous stripe
+    /// reconstructions.
+    ///
+    /// Completion is observable via [`ArraySim::rebuild_status`] /
+    /// [`ArraySim::is_degraded`]; when the last stripe lands, the member is
+    /// remapped to the spare and leaves the faulty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is not faulty, a rebuild is already running, the
+    /// spare is one of the array's members, or `concurrency == 0`.
+    pub fn start_rebuild(
+        &mut self,
+        eng: &mut Engine<ArraySim>,
+        member: usize,
+        spare: ServerId,
+        stripes: u64,
+        concurrency: usize,
+    ) {
+        assert!(
+            self.faulty.contains(&member),
+            "member {member} is not faulty"
+        );
+        assert!(self.rebuild.is_none(), "a rebuild is already in progress");
+        assert!(
+            !self.member_servers.contains(&spare),
+            "spare {spare:?} already belongs to the array"
+        );
+        assert!(spare.0 < self.cluster.width(), "spare not in the cluster");
+        assert!(concurrency > 0, "rebuild concurrency must be positive");
+        self.rebuild = Some(RebuildState {
+            member,
+            spare,
+            next_stripe: 0,
+            completed: 0,
+            total: stripes,
+            inflight: 0,
+            concurrency,
+            started: eng.now(),
+            failures: 0,
+        });
+        if stripes == 0 {
+            self.finish_rebuild();
+            return;
+        }
+        for _ in 0..concurrency.min(stripes as usize) {
+            self.pump_rebuild(eng);
+        }
+    }
+
+    /// Progress of the running rebuild, if any.
+    pub fn rebuild_status(&self) -> Option<RebuildStatus> {
+        self.rebuild.as_ref().map(|r| RebuildStatus {
+            member: r.member,
+            spare: r.spare,
+            rebuilt: r.completed,
+            total: r.total,
+            concurrency: r.concurrency,
+            started: r.started,
+        })
+    }
+
+    /// Whether `stripe`'s copy of the rebuilding member is already on the
+    /// spare (writes behind the cursor go straight to the spare).
+    pub(crate) fn stripe_rebuilt(&self, stripe: u64, member: usize) -> bool {
+        match &self.rebuild {
+            Some(r) => r.member == member && stripe < r.next_stripe.min(r.completed),
+            None => false,
+        }
+    }
+
+    /// Launches reconstruction of the next stripe, if any remain.
+    pub(crate) fn pump_rebuild(&mut self, eng: &mut Engine<ArraySim>) {
+        let Some(r) = &mut self.rebuild else {
+            return;
+        };
+        if r.next_stripe >= r.total {
+            return;
+        }
+        let stripe = r.next_stripe;
+        r.next_stripe += 1;
+        r.inflight += 1;
+        let member = r.member;
+        let spare = r.spare;
+
+        let dag = self.build_rebuild_dag(eng.now(), stripe, member, spare);
+        let io = StripeIo {
+            stripe,
+            buf_offset: 0,
+            segments: vec![Segment {
+                data_index: self.layout.data_index_of(stripe, member).unwrap_or(0),
+                member,
+                offset: 0,
+                len: self.layout.chunk_size(),
+            }],
+        };
+        let gen = self.fresh_gen();
+        let mut op = OpState::new(gen, 0, io, IoKind::Read);
+        op.rebuild_of = Some(member);
+        let idx = self.alloc_op(op);
+        self.launch_prebuilt(eng, idx, dag);
+    }
+
+    /// The rebuild DAG for one stripe: survivors read their chunks, stream
+    /// partials to a reducer (§6 policy), the reducer XORs and forwards the
+    /// reconstructed chunk straight to the spare, which persists it. For a
+    /// parity chunk of the rebuilding member, survivors are the data members
+    /// and the result is the recomputed parity.
+    fn build_rebuild_dag(
+        &mut self,
+        now: SimTime,
+        stripe: u64,
+        member: usize,
+        spare: ServerId,
+    ) -> Dag {
+        let chunk = self.layout.chunk_size();
+        let host = self.cluster.host_node();
+        let spare_node = self.cluster.server_node(spare);
+        let mut dag = Dag::new();
+        let root = dag.add(StepKind::PerIo { node: host }, &[]);
+
+        // Participants: every healthy member that contributes to this
+        // chunk's reconstruction (all data members + P, minus the victim).
+        let mut participants: Vec<usize> = (0..self.layout.data_chunks())
+            .map(|k| self.layout.data_member(stripe, k))
+            .chain(std::iter::once(self.layout.p_member(stripe)))
+            .filter(|&m| m != member && !self.faulty.contains(&m))
+            .collect();
+        participants.sort_unstable();
+        let reducer = self.choose_reducer(now, stripe);
+        self.selector.record_load(chunk);
+
+        let mut reduce_deps = Vec::new();
+        for &m in &participants {
+            let cmd = dag.add(
+                StepKind::Transfer {
+                    from: host,
+                    to: self.member_nodes[m],
+                    bytes: self.cfg.command_bytes,
+                },
+                &[root],
+            );
+            let tgt_io = dag.add(StepKind::PerIo { node: self.member_nodes[m] }, &[cmd]);
+            let read = dag.add(
+                StepKind::DriveRead {
+                    server: self.member_servers[m],
+                    bytes: chunk,
+                },
+                &[tgt_io],
+            );
+            let arrival = if m == reducer {
+                read
+            } else {
+                dag.add(
+                    StepKind::Transfer {
+                        from: self.member_nodes[m],
+                        to: self.member_nodes[reducer],
+                        bytes: chunk,
+                    },
+                    &[read],
+                )
+            };
+            reduce_deps.push(dag.add(
+                StepKind::Xor {
+                    node: self.member_nodes[reducer],
+                    bytes: chunk,
+                },
+                &[arrival],
+            ));
+        }
+        // Reconstructed chunk goes peer-to-peer to the spare and is written.
+        let done = dag.add(StepKind::Join, &reduce_deps);
+        let to_spare = dag.add(
+            StepKind::Transfer {
+                from: self.member_nodes[reducer],
+                to: spare_node,
+                bytes: chunk,
+            },
+            &[done],
+        );
+        let write = dag.add(
+            StepKind::DriveWrite {
+                server: spare,
+                bytes: chunk,
+            },
+            &[to_spare],
+        );
+        dag.add(
+            StepKind::Transfer {
+                from: spare_node,
+                to: host,
+                bytes: self.cfg.callback_bytes,
+            },
+            &[write],
+        );
+        dag
+    }
+
+    /// Called by the executor when a rebuild stripe op finishes.
+    pub(crate) fn on_rebuild_op_done(
+        &mut self,
+        eng: &mut Engine<ArraySim>,
+        member: usize,
+        stripe: u64,
+        failed: bool,
+    ) {
+        // Materialize the reconstructed chunk in the data plane.
+        if !failed {
+            if let Some(store) = &mut self.store {
+                store.rebuild_chunk(stripe, member, &self.faulty);
+            }
+        }
+        let Some(r) = &mut self.rebuild else {
+            return;
+        };
+        debug_assert_eq!(r.member, member);
+        r.inflight -= 1;
+        if failed {
+            r.failures += 1;
+            if r.failures > r.total.max(8) * 3 {
+                // The spare (or too many survivors) keeps erroring: abandon
+                // the rebuild; the member stays faulty.
+                self.rebuild = None;
+                return;
+            }
+            // Put the stripe back; it will be retried by the next pump.
+            r.next_stripe = r.next_stripe.min(stripe);
+        } else {
+            r.completed += 1;
+        }
+        if r.completed >= r.total {
+            self.finish_rebuild();
+            return;
+        }
+        self.pump_rebuild(eng);
+    }
+
+    /// Final swap: the spare becomes the member, the member leaves the
+    /// faulty set, and the array returns to optimal state.
+    fn finish_rebuild(&mut self) {
+        let r = self.rebuild.take().expect("rebuild state present");
+        self.member_servers[r.member] = r.spare;
+        self.member_nodes[r.member] = self.cluster.server_node(r.spare);
+        self.faulty.remove(&r.member);
+        self.reset_member_errors(r.member);
+    }
+}

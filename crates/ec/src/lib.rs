@@ -1,0 +1,49 @@
+//! # draid-ec — erasure coding for disaggregated RAID
+//!
+//! Real parity math for the dRAID reproduction (the paper offloads this work
+//! to ISA-L on x86; here it is a portable, table-driven implementation over
+//! the same field).
+//!
+//! * [`gf256`] — arithmetic over GF(2⁸) with the `x⁸+x⁴+x³+x²+1` (0x11D)
+//!   polynomial used by `linux/lib/raid6` and ISA-L.
+//! * [`xor_into`] / [`xor_of`] — wide XOR kernels (RAID-5 parity, partial
+//!   parity reduction).
+//! * [`Raid5`] — single-parity encode, delta update (read-modify-write), and
+//!   reconstruction.
+//! * [`Raid6`] — P+Q encode per H. P. Anvin's *The mathematics of RAID-6*
+//!   and recovery for every 1- and 2-failure combination.
+//! * [`ReedSolomon`] — general systematic Vandermonde RS codec backing the
+//!   paper's §7 "generalization to other erasure coding systems" discussion.
+//!
+//! ## Example: survive a two-drive failure with RAID-6
+//!
+//! ```
+//! use draid_ec::Raid6;
+//!
+//! let d0 = vec![1u8; 16];
+//! let d1 = vec![2u8; 16];
+//! let d2 = vec![3u8; 16];
+//! let data: Vec<&[u8]> = vec![&d0, &d1, &d2];
+//! let (p, q) = Raid6::encode(&data);
+//!
+//! // Drives 0 and 2 die; recover both chunks from d1, P and Q.
+//! let (r0, r2) = Raid6::recover_two_data(3, 0, 2, &[(1, &d1)], &p, &q);
+//! assert_eq!(r0, d0);
+//! assert_eq!(r2, d2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf256;
+mod matrix;
+mod raid5;
+mod raid6;
+mod rs;
+mod xor;
+
+pub use matrix::Matrix;
+pub use raid5::Raid5;
+pub use raid6::Raid6;
+pub use rs::{CodecError, ReedSolomon};
+pub use xor::{xor_into, xor_of};

@@ -1,0 +1,314 @@
+//! General systematic Reed-Solomon codec (Vandermonde construction).
+//!
+//! Backs the paper's §7 discussion that dRAID's I/O disaggregation
+//! generalizes beyond standard RAID-5/6: any linear erasure code whose parity
+//! rows are per-chunk sums can have its partial terms generated distributedly
+//! and reduced in any order. This codec provides `k` data + `m` parity with
+//! recovery from any `≤ m` erasures.
+
+use crate::gf256;
+use crate::Matrix;
+
+/// Errors returned by [`ReedSolomon`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// More chunks were lost than the code can repair.
+    TooManyErasures {
+        /// Number of missing chunks.
+        missing: usize,
+        /// Parity count `m` of the code.
+        tolerance: usize,
+    },
+    /// The surviving set does not form an invertible decode matrix.
+    Unrecoverable,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::TooManyErasures { missing, tolerance } => write!(
+                f,
+                "{missing} chunks missing but the code only tolerates {tolerance}"
+            ),
+            CodecError::Unrecoverable => write!(f, "surviving chunk set is not decodable"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A systematic `(k, m)` Reed-Solomon codec over GF(2⁸).
+///
+/// Chunk indices `0..k` are data; `k..k+m` are parity. Parity row `j` uses
+/// coefficients `g^(i·j)` (row 0 is plain XOR — RAID-5's P; row 1 is RAID-6's
+/// Q), so `ReedSolomon::new(k, 2)` is exactly the paper's RAID-6 code.
+///
+/// ```
+/// use draid_ec::ReedSolomon;
+/// let rs = ReedSolomon::new(4, 2);
+/// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 8]).collect();
+/// let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+/// let parity = rs.encode(&refs);
+///
+/// // Lose data chunk 1 and parity chunk 0; recover data chunk 1.
+/// let mut shards: Vec<Option<Vec<u8>>> =
+///     data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+/// shards[1] = None;
+/// shards[4] = None;
+/// let restored = rs.reconstruct(&mut shards).unwrap();
+/// assert_eq!(restored, ());
+/// assert_eq!(shards[1].as_deref(), Some(&[2u8; 8][..]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// `(k + m) × k` generator matrix: identity on top, Vandermonde below.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a codec with `k` data chunks and `m` parity chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `m == 0`, or `k + m > 255`.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(k > 0 && m > 0, "k and m must be positive");
+        assert!(k + m <= 255, "GF(256) limits k+m to 255");
+        let mut rows = Vec::with_capacity(k + m);
+        for r in 0..k {
+            let mut row = vec![0u8; k];
+            row[r] = 1;
+            rows.push(row);
+        }
+        for j in 0..m {
+            rows.push((0..k).map(|i| gf256::exp(i * j)).collect());
+        }
+        ReedSolomon {
+            k,
+            m,
+            generator: Matrix::from_rows(&rows),
+        }
+    }
+
+    /// Number of data chunks.
+    pub fn data_chunks(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity chunks.
+    pub fn parity_chunks(&self) -> usize {
+        self.m
+    }
+
+    /// The parity coefficient applied to data chunk `i` for parity row `j`
+    /// (what a dRAID data bdev would use when forwarding its partial term).
+    pub fn coefficient(&self, parity_row: usize, data_index: usize) -> u8 {
+        self.generator.get(self.k + parity_row, data_index)
+    }
+
+    /// Encodes the `m` parity chunks for a full stripe of `k` data chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k` or chunk lengths differ.
+    pub fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.k, "expected {} data chunks", self.k);
+        let len = data[0].len();
+        (0..self.m)
+            .map(|j| {
+                let mut p = vec![0u8; len];
+                for (i, d) in data.iter().enumerate() {
+                    assert_eq!(d.len(), len, "chunk length mismatch");
+                    gf256::mul_acc(&mut p, d, self.coefficient(j, i));
+                }
+                p
+            })
+            .collect()
+    }
+
+    /// Reconstructs every missing shard in place. `shards` holds `k + m`
+    /// entries (data then parity); `None` marks an erasure.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TooManyErasures`] if more than `m` shards are missing;
+    /// [`CodecError::Unrecoverable`] if the survivor set cannot decode (does
+    /// not happen for the Vandermonde construction with `≤ m` losses, but the
+    /// API reports it rather than panicking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards.len() != k + m`, all shards are missing, or present
+    /// shards differ in length.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodecError> {
+        assert_eq!(shards.len(), self.k + self.m, "wrong shard count");
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() > self.m {
+            return Err(CodecError::TooManyErasures {
+                missing: missing.len(),
+                tolerance: self.m,
+            });
+        }
+        let len = shards
+            .iter()
+            .flatten()
+            .map(Vec::len)
+            .next()
+            .expect("at least one shard must be present");
+        for s in shards.iter().flatten() {
+            assert_eq!(s.len(), len, "chunk length mismatch");
+        }
+
+        // Pick k surviving rows of the generator; invert to express data in
+        // terms of the survivors.
+        let survivors: Vec<usize> = (0..shards.len())
+            .filter(|&i| shards[i].is_some())
+            .take(self.k)
+            .collect();
+        if survivors.len() < self.k {
+            return Err(CodecError::Unrecoverable);
+        }
+        let sub = Matrix::from_rows(
+            &survivors
+                .iter()
+                .map(|&r| self.generator.row(r).to_vec())
+                .collect::<Vec<_>>(),
+        );
+        let decode = sub.inverse().ok_or(CodecError::Unrecoverable)?;
+
+        // data_i = Σ_j decode[i][j] · shard[survivors[j]]
+        let mut data: Vec<Option<Vec<u8>>> = vec![None; self.k];
+        for (i, slot) in data.iter_mut().enumerate() {
+            if i < shards.len() && shards[i].is_some() && survivors.contains(&i) {
+                // Fast path: data shard survived untouched.
+                *slot = shards[i].clone();
+                continue;
+            }
+            let mut buf = vec![0u8; len];
+            for (j, &r) in survivors.iter().enumerate() {
+                let c = decode.get(i, j);
+                if c != 0 {
+                    gf256::mul_acc(&mut buf, shards[r].as_ref().expect("survivor"), c);
+                }
+            }
+            *slot = Some(buf);
+        }
+
+        // Fill the erased shards back in (data directly, parity re-encoded).
+        let data_refs: Vec<&[u8]> = data
+            .iter()
+            .map(|d| d.as_deref().expect("all data recovered"))
+            .collect();
+        let parity = self.encode(&data_refs);
+        for idx in missing {
+            shards[idx] = Some(if idx < self.k {
+                data_refs[idx].to_vec()
+            } else {
+                parity[idx - self.k].clone()
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stripe(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|d| {
+                (0..len)
+                    .map(|i| ((i * 7 + d * 13 + 5) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_raid5_and_raid6() {
+        let data = sample_stripe(5, 32);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let rs = ReedSolomon::new(5, 2);
+        let parity = rs.encode(&refs);
+        assert_eq!(parity[0], crate::Raid5::encode(&refs), "row 0 is RAID-5 P");
+        let (p, q) = crate::Raid6::encode(&refs);
+        assert_eq!(parity[0], p);
+        assert_eq!(parity[1], q, "row 1 is RAID-6 Q");
+    }
+
+    #[test]
+    fn recovers_all_loss_patterns_up_to_m() {
+        let k = 4;
+        let m = 3;
+        let rs = ReedSolomon::new(k, m);
+        let data = sample_stripe(k, 16);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+
+        let n = k + m;
+        // Every subset of up to m erasures (bitmask enumeration).
+        for mask in 1u32..(1 << n) {
+            if mask.count_ones() as usize > m {
+                continue;
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            for (i, shard) in shards.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    *shard = None;
+                }
+            }
+            rs.reconstruct(&mut shards).expect("within tolerance");
+            for (i, (shard, original)) in shards.iter().zip(&full).enumerate() {
+                assert_eq!(shard.as_ref().expect("restored"), original, "i={i} mask={mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_reported() {
+        let rs = ReedSolomon::new(3, 2);
+        let data = sample_stripe(3, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity)
+            .map(Some)
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[3] = None;
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(CodecError::TooManyErasures {
+                missing: 3,
+                tolerance: 2
+            })
+        );
+    }
+
+    #[test]
+    fn no_erasures_is_noop() {
+        let rs = ReedSolomon::new(2, 1);
+        let data = sample_stripe(2, 4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity)
+            .map(Some)
+            .collect();
+        let before = shards.clone();
+        rs.reconstruct(&mut shards).expect("nothing to do");
+        assert_eq!(shards, before);
+    }
+}

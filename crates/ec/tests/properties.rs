@@ -1,0 +1,158 @@
+//! Property-based tests for the erasure-coding substrate.
+
+use draid_ec::{gf256, xor_into, Raid5, Raid6, ReedSolomon};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn stripe_strategy(max_width: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    (2..=max_width, 1..=max_len).prop_flat_map(|(w, l)| vec(vec(any::<u8>(), l..=l), w..=w))
+}
+
+proptest! {
+    #[test]
+    fn gf_mul_commutative_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(
+            gf256::mul(a, gf256::mul(b, c)),
+            gf256::mul(gf256::mul(a, b), c)
+        );
+    }
+
+    #[test]
+    fn gf_distributive(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(
+            gf256::mul(a, b ^ c),
+            gf256::mul(a, b) ^ gf256::mul(a, c)
+        );
+    }
+
+    #[test]
+    fn gf_div_inverts_mul(a: u8, b in 1u8..) {
+        prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
+    }
+
+    #[test]
+    fn raid5_reconstructs_any_chunk(data in stripe_strategy(10, 64), lost_sel: prop::sample::Index) {
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = Raid5::encode(&refs);
+        let lost = lost_sel.index(data.len());
+        let mut survivors: Vec<&[u8]> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != lost)
+            .map(|(_, d)| &d[..])
+            .collect();
+        survivors.push(&parity);
+        prop_assert_eq!(Raid5::reconstruct(&survivors), data[lost].clone());
+    }
+
+    #[test]
+    fn raid5_rmw_matches_full_encode(
+        mut data in stripe_strategy(8, 32),
+        new_byte: u8,
+        target_sel: prop::sample::Index,
+    ) {
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = Raid5::encode(&refs);
+        let target = target_sel.index(data.len());
+        let new_chunk = vec![new_byte; data[0].len()];
+        let updated = Raid5::update(&data[target], &new_chunk, &parity);
+        data[target] = new_chunk;
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        prop_assert_eq!(updated, Raid5::encode(&refs));
+    }
+
+    #[test]
+    fn raid6_recovers_any_two_data(data in stripe_strategy(9, 32), a: prop::sample::Index, b: prop::sample::Index) {
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let (p, q) = Raid6::encode(&refs);
+        let w = data.len();
+        let (mut x, mut y) = (a.index(w), b.index(w));
+        prop_assume!(x != y);
+        if x > y {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let survivors: Vec<(usize, &[u8])> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != x && *i != y)
+            .map(|(i, d)| (i, &d[..]))
+            .collect();
+        let (dx, dy) = Raid6::recover_two_data(w, x, y, &survivors, &p, &q);
+        prop_assert_eq!(dx, data[x].clone());
+        prop_assert_eq!(dy, data[y].clone());
+    }
+
+    #[test]
+    fn raid6_partial_deltas_any_arrival_order(
+        mut data in stripe_strategy(6, 24),
+        new_a: u8,
+        new_b: u8,
+        swap: bool,
+    ) {
+        // dRAID §5.2: partial parities may arrive and reduce in any order.
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let (p, q) = Raid6::encode(&refs);
+        let len = data[0].len();
+        let ca = vec![new_a; len];
+        let cb = vec![new_b; len];
+        let ia = 0;
+        let ib = data.len() - 1;
+
+        let da_p = Raid5::partial_delta(&data[ia], &ca);
+        let db_p = Raid5::partial_delta(&data[ib], &cb);
+        let da_q = Raid6::partial_q_delta(ia, &data[ia], &ca);
+        let db_q = Raid6::partial_q_delta(ib, &data[ib], &cb);
+
+        let mut np = p.clone();
+        let mut nq = q.clone();
+        if swap {
+            xor_into(&mut np, &db_p);
+            xor_into(&mut np, &da_p);
+            xor_into(&mut nq, &db_q);
+            xor_into(&mut nq, &da_q);
+        } else {
+            xor_into(&mut np, &da_p);
+            xor_into(&mut np, &db_p);
+            xor_into(&mut nq, &da_q);
+            xor_into(&mut nq, &db_q);
+        }
+        data[ia] = ca;
+        data[ib] = cb;
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let (ep, eq) = Raid6::encode(&refs);
+        prop_assert_eq!(np, ep);
+        prop_assert_eq!(nq, eq);
+    }
+
+    #[test]
+    fn reed_solomon_roundtrip(
+        data in stripe_strategy(6, 16),
+        parity_count in 1usize..4,
+        erasure_seed: u64,
+    ) {
+        let k = data.len();
+        let rs = ReedSolomon::new(k, parity_count);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        let n = k + parity_count;
+
+        // Deterministically pick up to `parity_count` distinct erasures.
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        let mut seed = erasure_seed;
+        let mut erased = 0usize;
+        while erased < parity_count {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (seed >> 33) as usize % n;
+            if shards[idx].is_some() {
+                shards[idx] = None;
+                erased += 1;
+            }
+        }
+        rs.reconstruct(&mut shards).expect("within tolerance");
+        for (shard, original) in shards.iter().zip(&full) {
+            prop_assert_eq!(shard.as_ref().expect("restored"), original);
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! The fabric: nodes, NICs, connections, transfers.
+
+use draid_sim::{RateResource, Service, SimTime};
+
+use crate::NicSpec;
+
+/// Identifies a node (server) in the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Identifies a NIC in the fabric (global index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NicId(pub usize);
+
+/// Identifies an established connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub usize);
+
+#[derive(Debug)]
+struct Nic {
+    spec: NicSpec,
+    egress: RateResource,
+    ingress: RateResource,
+    connections: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    nics: Vec<usize>,
+    rack: Option<usize>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Connection {
+    from_node: NodeId,
+    to_node: NodeId,
+    from_nic: usize,
+    to_nic: usize,
+}
+
+/// Builder for a [`Fabric`].
+#[derive(Debug, Default)]
+pub struct FabricBuilder {
+    nodes: Vec<Node>,
+    nics: Vec<Nic>,
+    racks: Vec<RackSpec>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RackSpec {
+    uplink: crate::NicSpec,
+}
+
+#[derive(Debug)]
+struct Rack {
+    up: RateResource,
+    down: RateResource,
+    spec: crate::NicSpec,
+}
+
+impl FabricBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given NICs and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nics` is empty — every server in the testbed has a NIC.
+    pub fn add_node(&mut self, name: impl Into<String>, nics: Vec<NicSpec>) -> NodeId {
+        self.add_node_inner(name, nics, None)
+    }
+
+    /// Declares a rack whose uplink to the core has the given capacity
+    /// (model an `f:1` oversubscription of `n` nodes with `rate = n·nic/f`).
+    /// Returns the rack id for [`FabricBuilder::add_node_in_rack`].
+    pub fn add_rack(&mut self, uplink: NicSpec) -> usize {
+        self.racks.push(RackSpec { uplink });
+        self.racks.len() - 1
+    }
+
+    /// Adds a node behind a rack switch: transfers leaving or entering the
+    /// rack additionally traverse the rack's uplink/downlink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack` was not declared or `nics` is empty.
+    pub fn add_node_in_rack(
+        &mut self,
+        name: impl Into<String>,
+        nics: Vec<NicSpec>,
+        rack: usize,
+    ) -> NodeId {
+        assert!(rack < self.racks.len(), "undeclared rack {rack}");
+        self.add_node_inner(name, nics, Some(rack))
+    }
+
+    fn add_node_inner(
+        &mut self,
+        name: impl Into<String>,
+        nics: Vec<NicSpec>,
+        rack: Option<usize>,
+    ) -> NodeId {
+        assert!(!nics.is_empty(), "a node needs at least one NIC");
+        let id = NodeId(self.nodes.len());
+        let mut indices = Vec::with_capacity(nics.len());
+        for spec in nics {
+            indices.push(self.nics.len());
+            self.nics.push(Nic {
+                spec,
+                egress: RateResource::new(spec.rate),
+                ingress: RateResource::new(spec.rate),
+                connections: 0,
+            });
+        }
+        self.nodes.push(Node {
+            name: name.into(),
+            nics: indices,
+            rack,
+        });
+        id
+    }
+
+    /// Finalizes the fabric.
+    pub fn build(self) -> Fabric {
+        Fabric {
+            nodes: self.nodes,
+            nics: self.nics,
+            racks: self
+                .racks
+                .into_iter()
+                .map(|r| Rack {
+                    up: RateResource::new(r.uplink.rate),
+                    down: RateResource::new(r.uplink.rate),
+                    spec: r.uplink,
+                })
+                .collect(),
+            connections: Vec::new(),
+        }
+    }
+}
+
+/// The simulated datacenter network. See the crate docs for the model.
+#[derive(Debug)]
+pub struct Fabric {
+    nodes: Vec<Node>,
+    nics: Vec<Nic>,
+    racks: Vec<Rack>,
+    connections: Vec<Connection>,
+}
+
+impl Fabric {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A node's human-readable name.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Establishes an RC-style connection between two nodes, placing each end
+    /// on the least-connected NIC of its node (§5.5: "new connections are
+    /// created on the least used NIC for load balancing").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` (loopback does not cross the fabric) or either
+    /// id is out of range.
+    pub fn connect(&mut self, from: NodeId, to: NodeId) -> ConnId {
+        assert_ne!(from, to, "loopback connections are not modelled");
+        let from_nic = self.least_connected_nic(from);
+        let to_nic = self.least_connected_nic(to);
+        self.nics[from_nic].connections += 1;
+        self.nics[to_nic].connections += 1;
+        let id = ConnId(self.connections.len());
+        self.connections.push(Connection {
+            from_node: from,
+            to_node: to,
+            from_nic,
+            to_nic,
+        });
+        id
+    }
+
+    fn least_connected_nic(&self, node: NodeId) -> usize {
+        *self.nodes[node.0]
+            .nics
+            .iter()
+            .min_by_key(|&&n| self.nics[n].connections)
+            .expect("nodes have at least one NIC")
+    }
+
+    /// Source node of a connection.
+    pub fn conn_source(&self, conn: ConnId) -> NodeId {
+        self.connections[conn.0].from_node
+    }
+
+    /// Destination node of a connection.
+    pub fn conn_dest(&self, conn: ConnId) -> NodeId {
+        self.connections[conn.0].to_node
+    }
+
+    /// Sends `bytes` over `conn`. Returns the delivery window: `start` is
+    /// when the first byte left the sender, `end` is when the last byte
+    /// arrived at the receiver (the moment a completion event should fire).
+    ///
+    /// The model pipelines egress and ingress: the receiver starts taking the
+    /// stream one propagation delay after the sender starts emitting, and
+    /// each direction independently serializes at its own NIC rate, so the
+    /// slower direction and any queueing on either side gate completion.
+    pub fn transfer(&mut self, now: SimTime, conn: ConnId, bytes: u64) -> Service {
+        let c = self.connections[conn.0];
+        let (eg_spec, in_spec) = (self.nics[c.from_nic].spec, self.nics[c.to_nic].spec);
+        let eg = self.nics[c.from_nic]
+            .egress
+            .serve_with_setup(now, bytes, eg_spec.per_message, eg_spec.rate);
+        let mut arrive = eg.start + eg_spec.per_message + eg_spec.propagation;
+        // Cross-rack traffic serializes through the source rack's uplink and
+        // the destination rack's downlink (the oversubscription model). The
+        // stream pipelines through every stage, so completion is gated by
+        // the slowest stage's finish, not their sum.
+        let mut stage_end = eg.end;
+        let (src_rack, dst_rack) = (
+            self.nodes[c.from_node.0].rack,
+            self.nodes[c.to_node.0].rack,
+        );
+        if src_rack != dst_rack {
+            if let Some(r) = src_rack {
+                let rack = &mut self.racks[r];
+                let svc = rack.up.serve_at_rate(arrive, bytes.max(1), rack.spec.rate);
+                arrive = svc.start + rack.spec.propagation;
+                stage_end = stage_end.max(svc.end);
+            }
+            if let Some(r) = dst_rack {
+                let rack = &mut self.racks[r];
+                let svc = rack.down.serve_at_rate(arrive, bytes.max(1), rack.spec.rate);
+                arrive = svc.start + rack.spec.propagation;
+                stage_end = stage_end.max(svc.end);
+            }
+        }
+        let ing = self.nics[c.to_nic]
+            .ingress
+            .serve_at_rate(arrive, bytes.max(1), in_spec.rate);
+        Service {
+            start: eg.start,
+            end: ing.end.max(stage_end),
+        }
+    }
+
+    /// Total bytes a node has sent (across all its NICs).
+    pub fn bytes_sent(&self, node: NodeId) -> u64 {
+        self.nodes[node.0]
+            .nics
+            .iter()
+            .map(|&n| self.nics[n].egress.bytes_served())
+            .sum()
+    }
+
+    /// Total bytes a node has received (across all its NICs).
+    pub fn bytes_received(&self, node: NodeId) -> u64 {
+        self.nodes[node.0]
+            .nics
+            .iter()
+            .map(|&n| self.nics[n].ingress.bytes_served())
+            .sum()
+    }
+
+    /// Aggregate NIC goodput available to a node, per direction.
+    pub fn node_rate(&self, node: NodeId) -> draid_sim::ByteRate {
+        draid_sim::ByteRate::from_bytes_per_sec(
+            self.nodes[node.0]
+                .nics
+                .iter()
+                .map(|&n| self.nics[n].spec.rate.bytes_per_sec())
+                .sum(),
+        )
+    }
+
+    /// Cumulative egress busy time across a node's NICs; sampling this over a
+    /// window yields the utilization estimate the bandwidth-aware reducer
+    /// selection feeds on (§6.2).
+    pub fn egress_busy(&self, node: NodeId) -> SimTime {
+        self.nodes[node.0]
+            .nics
+            .iter()
+            .map(|&n| self.nics[n].egress.busy_time())
+            .fold(SimTime::ZERO, |a, b| a + b)
+    }
+
+    /// Earliest time a node's least-busy egress NIC frees up — a liveness
+    /// signal used by the bandwidth-aware reducer selection to estimate
+    /// available bandwidth (§6.2).
+    pub fn egress_backlog(&self, node: NodeId, now: SimTime) -> SimTime {
+        self.nodes[node.0]
+            .nics
+            .iter()
+            .map(|&n| self.nics[n].egress.next_free().saturating_sub(now))
+            .min()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Resets every NIC's traffic counters (between warm-up and measurement).
+    pub fn reset_counters(&mut self) {
+        for nic in &mut self.nics {
+            nic.egress.reset_counters();
+            nic.ingress.reset_counters();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draid_sim::ByteRate;
+
+    fn two_node_fabric(rate_gbps: f64) -> (Fabric, ConnId) {
+        let mut b = FabricBuilder::new();
+        let a = b.add_node("a", vec![NicSpec::with_goodput_gbps(rate_gbps)]);
+        let z = b.add_node("z", vec![NicSpec::with_goodput_gbps(rate_gbps)]);
+        let mut f = b.build();
+        let conn = f.connect(a, z);
+        (f, conn)
+    }
+
+    #[test]
+    fn uncontended_transfer_latency() {
+        let (mut f, conn) = two_node_fabric(8.0); // 1 GB/s
+        let svc = f.transfer(SimTime::ZERO, conn, 1_000_000); // 1 MB -> 1 ms
+        // per_message (0.5us) + propagation (2us) + serialization (1ms)
+        assert_eq!(svc.end, SimTime::from_nanos(1_000_000 + 2_500));
+    }
+
+    #[test]
+    fn egress_is_the_shared_bottleneck() {
+        let mut b = FabricBuilder::new();
+        let host = b.add_node("host", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let t1 = b.add_node("t1", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let t2 = b.add_node("t2", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let mut f = b.build();
+        let c1 = f.connect(host, t1);
+        let c2 = f.connect(host, t2);
+        let s1 = f.transfer(SimTime::ZERO, c1, 1_000_000);
+        let s2 = f.transfer(SimTime::ZERO, c2, 1_000_000);
+        // Second transfer queues behind the first on the host egress.
+        assert!(s2.start >= s1.start + SimTime::from_millis(1));
+        assert!(s2.end >= SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn ingress_contention_gates_completion() {
+        let mut b = FabricBuilder::new();
+        let t1 = b.add_node("t1", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let t2 = b.add_node("t2", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let sink = b.add_node("sink", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let mut f = b.build();
+        let c1 = f.connect(t1, sink);
+        let c2 = f.connect(t2, sink);
+        let s1 = f.transfer(SimTime::ZERO, c1, 1_000_000);
+        let s2 = f.transfer(SimTime::ZERO, c2, 1_000_000);
+        // Both leave their senders immediately but serialize into the sink.
+        assert_eq!(s1.start, SimTime::ZERO);
+        assert_eq!(s2.start, SimTime::ZERO);
+        assert!(s2.end.saturating_sub(s1.end) >= SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn slow_receiver_gates_fast_sender() {
+        let mut b = FabricBuilder::new();
+        let fast = b.add_node("fast", vec![NicSpec::with_goodput_gbps(80.0)]);
+        let slow = b.add_node("slow", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let mut f = b.build();
+        let c = f.connect(fast, slow);
+        let svc = f.transfer(SimTime::ZERO, c, 1_000_000);
+        // Dominated by the 1 GB/s receiving side.
+        assert!(svc.end >= SimTime::from_millis(1));
+        assert!(svc.end < SimTime::from_nanos(1_100_000));
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let (mut f, conn) = two_node_fabric(92.0);
+        f.transfer(SimTime::ZERO, conn, 4096);
+        f.transfer(SimTime::ZERO, conn, 4096);
+        assert_eq!(f.bytes_sent(NodeId(0)), 8192);
+        assert_eq!(f.bytes_received(NodeId(1)), 8192);
+        assert_eq!(f.bytes_sent(NodeId(1)), 0);
+        f.reset_counters();
+        assert_eq!(f.bytes_sent(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn connections_balance_across_nics() {
+        let mut b = FabricBuilder::new();
+        let multi = b.add_node("multi", vec![NicSpec::cx5_100g(), NicSpec::cx5_25g()]);
+        let peer1 = b.add_node("p1", vec![NicSpec::cx5_100g()]);
+        let peer2 = b.add_node("p2", vec![NicSpec::cx5_100g()]);
+        let mut f = b.build();
+        let c1 = f.connect(multi, peer1);
+        let c2 = f.connect(multi, peer2);
+        // The two connections land on different NICs of `multi`.
+        assert_ne!(f.connections[c1.0].from_nic, f.connections[c2.0].from_nic);
+    }
+
+    #[test]
+    fn node_rate_sums_nics() {
+        let mut b = FabricBuilder::new();
+        let n = b.add_node("n", vec![NicSpec::cx5_100g(), NicSpec::cx5_25g()]);
+        let f = b.build();
+        assert_eq!(f.node_rate(n), ByteRate::from_gbps(115.0));
+    }
+
+    #[test]
+    fn cross_rack_traffic_serializes_on_uplinks() {
+        let mut b = FabricBuilder::new();
+        // Two racks joined by a skinny 1 Gbps uplink; NICs are 8 Gbps.
+        let uplink = NicSpec::with_goodput_gbps(1.0);
+        let r0 = b.add_rack(uplink);
+        let r1 = b.add_rack(uplink);
+        let a = b.add_node_in_rack("a", vec![NicSpec::with_goodput_gbps(8.0)], r0);
+        let z = b.add_node_in_rack("z", vec![NicSpec::with_goodput_gbps(8.0)], r1);
+        let peer = b.add_node_in_rack("p", vec![NicSpec::with_goodput_gbps(8.0)], r1);
+        let mut f = b.build();
+        let cross = f.connect(a, z);
+        let local = f.connect(peer, z);
+        // 1 MB rack-local: only NIC speed (~1 ms), no uplink involved.
+        let svc = f.transfer(SimTime::ZERO, local, 1_000_000);
+        assert!(svc.end < SimTime::from_millis(2), "local stays fast: {}", svc.end);
+        // 1 MB cross-rack: gated by the 1 Gbps uplink (~8 ms), not the NICs.
+        let svc = f.transfer(SimTime::ZERO, cross, 1_000_000);
+        assert!(svc.end >= SimTime::from_millis(8), "uplink-bound: {}", svc.end);
+    }
+
+    #[test]
+    fn rackless_nodes_skip_uplinks() {
+        let mut b = FabricBuilder::new();
+        let _ = b.add_rack(NicSpec::with_goodput_gbps(0.1));
+        let a = b.add_node("a", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let z = b.add_node("z", vec![NicSpec::with_goodput_gbps(8.0)]);
+        let mut f = b.build();
+        let c = f.connect(a, z);
+        let svc = f.transfer(SimTime::ZERO, c, 1_000_000);
+        assert!(svc.end < SimTime::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared rack")]
+    fn unknown_rack_rejected() {
+        let mut b = FabricBuilder::new();
+        b.add_node_in_rack("x", vec![NicSpec::cx5_100g()], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_rejected() {
+        let mut b = FabricBuilder::new();
+        let n = b.add_node("n", vec![NicSpec::cx5_100g()]);
+        b.build().connect(n, n);
+    }
+}

@@ -1,0 +1,50 @@
+//! # draid-net — simulated datacenter fabric
+//!
+//! Stands in for the paper's RDMA network (Mellanox ConnectX-5 NICs over a
+//! Dell Z9264 switch). The model captures exactly what the paper's analysis
+//! depends on:
+//!
+//! * every NIC direction (egress/ingress) is a FIFO fluid rate server, so a
+//!   node can move at most its NIC bandwidth per direction per second and
+//!   concurrent flows queue;
+//! * transfers are *pipelined streams*: a message starts arriving one
+//!   propagation delay after it starts leaving, and completion is gated by
+//!   the slower of the two directions;
+//! * each message pays a fixed per-message processing cost (standing in for
+//!   RDMA verbs/doorbell overhead);
+//! * connections are RDMA-RC-like: created pairwise, counted, and placed on
+//!   the least-loaded NIC of multi-NIC nodes (§5.5 "network sharing");
+//! * per-direction byte counters provide the traffic accounting behind
+//!   Table 1.
+//!
+//! The fabric is passive: [`Fabric::transfer`] reserves resources and returns
+//! the delivery [`Service`] window; the caller schedules the completion event
+//! on its own [`draid_sim::Engine`]. A core-switch bottleneck is deliberately
+//! not modelled — the paper's testbed switch is non-blocking at the offered
+//! loads.
+//!
+//! ## Example
+//!
+//! ```
+//! use draid_net::{FabricBuilder, NicSpec};
+//! use draid_sim::SimTime;
+//!
+//! let mut b = FabricBuilder::new();
+//! let host = b.add_node("host", vec![NicSpec::cx5_100g()]);
+//! let target = b.add_node("ssd0", vec![NicSpec::cx5_100g()]);
+//! let mut fabric = b.build();
+//! let conn = fabric.connect(host, target);
+//! let svc = fabric.transfer(SimTime::ZERO, conn, 128 * 1024);
+//! assert!(svc.end > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fabric;
+mod spec;
+
+pub use fabric::{ConnId, Fabric, FabricBuilder, NicId, NodeId};
+pub use spec::NicSpec;
+
+pub use draid_sim::Service;

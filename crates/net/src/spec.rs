@@ -1,0 +1,77 @@
+//! NIC specifications.
+
+use draid_sim::{ByteRate, SimTime};
+
+/// The capabilities of one network interface.
+///
+/// The defaults mirror the paper's testbed hardware (§9.1): each CloudLab
+/// c6525-100g node has a ConnectX-5 Ex 100 Gbps NIC and a ConnectX-5 25 Gbps
+/// NIC. The paper measures ~92 Gbps *goodput* on the 100 Gbps NIC; the spec
+/// stores goodput directly so bandwidth sweeps match the "NIC Goodput"
+/// reference lines in Figs. 12 and 14.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NicSpec {
+    /// Usable bandwidth per direction (full duplex).
+    pub rate: ByteRate,
+    /// One-way propagation + switching delay.
+    pub propagation: SimTime,
+    /// Fixed per-message processing cost charged on the sending direction
+    /// (verbs posting, doorbell, DMA setup).
+    pub per_message: SimTime,
+}
+
+impl NicSpec {
+    /// ConnectX-5 Ex 100 Gbps: ~92 Gbps goodput, 2 µs one-way, 0.5 µs of
+    /// per-message processing (the 92 Gbps goodput figure already absorbs
+    /// steady-state per-packet costs; this models per-*verb* posting).
+    pub fn cx5_100g() -> Self {
+        NicSpec {
+            rate: ByteRate::from_gbps(92.0),
+            propagation: SimTime::from_micros(2),
+            per_message: SimTime::from_nanos(500),
+        }
+    }
+
+    /// ConnectX-5 25 Gbps: ~23 Gbps goodput (paper: "enough to saturate the
+    /// read bandwidth of a single SSD", §9.4).
+    pub fn cx5_25g() -> Self {
+        NicSpec {
+            rate: ByteRate::from_gbps(23.0),
+            propagation: SimTime::from_micros(2),
+            per_message: SimTime::from_nanos(500),
+        }
+    }
+
+    /// A custom-goodput NIC with the default latency profile.
+    pub fn with_goodput_gbps(gbps: f64) -> Self {
+        NicSpec {
+            rate: ByteRate::from_gbps(gbps),
+            ..Self::cx5_100g()
+        }
+    }
+}
+
+impl Default for NicSpec {
+    fn default() -> Self {
+        Self::cx5_100g()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_goodput() {
+        assert_eq!(NicSpec::cx5_100g().rate, ByteRate::from_gbps(92.0));
+        assert_eq!(NicSpec::cx5_25g().rate, ByteRate::from_gbps(23.0));
+        assert_eq!(NicSpec::default(), NicSpec::cx5_100g());
+    }
+
+    #[test]
+    fn custom_goodput_keeps_latency() {
+        let n = NicSpec::with_goodput_gbps(10.0);
+        assert_eq!(n.rate, ByteRate::from_gbps(10.0));
+        assert_eq!(n.propagation, NicSpec::cx5_100g().propagation);
+    }
+}

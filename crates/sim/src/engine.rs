@@ -1,0 +1,254 @@
+//! The discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    event: BoxedEvent<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Counters describing an [`Engine`] run, useful for sanity checks and the
+/// engine micro-benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events executed so far.
+    pub events_fired: u64,
+    /// Events scheduled so far.
+    pub events_scheduled: u64,
+}
+
+/// A deterministic discrete-event engine over a world type `W`.
+///
+/// Events are closures receiving the world and the engine (so handlers can
+/// schedule follow-up events). Two events at the same instant fire in
+/// scheduling order, which makes simulations reproducible bit-for-bit.
+///
+/// ```
+/// use draid_sim::{Engine, SimTime};
+/// let mut hits = 0u32;
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule_at(SimTime::from_micros(1), |w, _| *w += 1);
+/// engine.run(&mut hits);
+/// assert_eq!(hits, 1);
+/// assert_eq!(engine.now(), SimTime::from_micros(1));
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    stopped: bool,
+    stats: EngineStats,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            stopped: false,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Engine::now`]); simulated
+    /// causality must be preserved.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.seq += 1;
+        self.stats.events_scheduled += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedules `event` after a relative delay from now.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        event: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulated time overflow");
+        self.schedule_at(at, event);
+    }
+
+    /// Requests the current [`Engine::run`] loop to stop after the running
+    /// event returns. Pending events stay queued.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Runs until the queue drains or [`Engine::stop`] is called. Returns the
+    /// final simulated time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Runs events with `time <= deadline`; afterwards the clock rests at
+    /// `min(deadline, last event time)` if stopped early by `deadline`, the
+    /// clock is advanced to `deadline` only when events remain beyond it.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        self.stopped = false;
+        while let Some(entry) = self.queue.peek() {
+            if self.stopped {
+                break;
+            }
+            if entry.time > deadline {
+                self.now = deadline;
+                break;
+            }
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            self.stats.events_fired += 1;
+            (entry.event)(world, self);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_tie_breaking() {
+        let mut order: Vec<u32> = Vec::new();
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..10 {
+            engine.schedule_at(t, move |w, _| w.push(i));
+        }
+        engine.run(&mut order);
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_and_clock() {
+        let mut world = 0u64;
+        let mut engine: Engine<u64> = Engine::new();
+        engine.schedule_in(SimTime::from_micros(1), |_, eng| {
+            eng.schedule_in(SimTime::from_micros(1), |w, _| *w = 42);
+        });
+        let end = engine.run(&mut world);
+        assert_eq!(world, 42);
+        assert_eq!(end, SimTime::from_micros(2));
+        assert_eq!(engine.stats().events_fired, 2);
+    }
+
+    #[test]
+    fn run_until_deadline_preserves_later_events() {
+        let mut world = Vec::new();
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        for us in [1u64, 5, 9] {
+            engine.schedule_at(SimTime::from_micros(us), move |w: &mut Vec<u64>, _| {
+                w.push(us)
+            });
+        }
+        engine.run_until(&mut world, SimTime::from_micros(6));
+        assert_eq!(world, vec![1, 5]);
+        assert_eq!(engine.now(), SimTime::from_micros(6));
+        assert_eq!(engine.pending(), 1);
+        engine.run(&mut world);
+        assert_eq!(world, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn stop_halts_loop() {
+        let mut world = 0u32;
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimTime::from_micros(1), |w, eng| {
+            *w += 1;
+            eng.stop();
+        });
+        engine.schedule_in(SimTime::from_micros(2), |w, _| *w += 100);
+        engine.run(&mut world);
+        assert_eq!(world, 1);
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut world = ();
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(SimTime::from_micros(5), |_, eng| {
+            eng.schedule_at(SimTime::from_micros(1), |_, _| {});
+        });
+        engine.run(&mut world);
+    }
+}

@@ -1,0 +1,208 @@
+//! Exact measurement primitives: counters and latency histograms.
+
+use std::fmt;
+
+use crate::SimTime;
+
+/// A monotonically increasing counter with a byte/ops flavour decided by the
+/// caller.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero (between warm-up and measurement).
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An exact latency histogram: stores every sample and computes percentiles
+/// by selection. Simulated experiments record 10⁴–10⁶ samples, for which the
+/// exact representation is cheap and avoids bucketing error in the
+/// paper-comparison tables.
+///
+/// ```
+/// use draid_sim::{Histogram, SimTime};
+/// let mut h = Histogram::new();
+/// for us in [1u64, 2, 3, 4, 100] {
+///     h.record(SimTime::from_micros(us));
+/// }
+/// assert_eq!(h.len(), 5);
+/// assert_eq!(h.percentile(50.0), SimTime::from_micros(3));
+/// assert_eq!(h.max(), SimTime::from_micros(100));
+/// assert_eq!(h.mean(), SimTime::from_micros(22));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: SimTime) {
+        self.samples.push(sample.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the samples; zero when empty.
+    pub fn mean(&self) -> SimTime {
+        if self.samples.is_empty() {
+            return SimTime::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimTime::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The `p`-th percentile (nearest-rank); zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> SimTime {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return SimTime::ZERO;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.max(1).min(self.samples.len()) - 1;
+        SimTime::from_nanos(self.samples[idx])
+    }
+
+    /// Largest sample; zero when empty.
+    pub fn max(&self) -> SimTime {
+        SimTime::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest sample; zero when empty.
+    pub fn min(&self) -> SimTime {
+        SimTime::from_nanos(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Discards all samples.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut h = self.clone();
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            h.len(),
+            h.mean(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimTime::ZERO);
+        assert_eq!(h.percentile(99.0), SimTime::ZERO);
+        assert_eq!(h.max(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for ns in 1..=100u64 {
+            h.record(SimTime::from_nanos(ns));
+        }
+        assert_eq!(h.percentile(0.0), SimTime::from_nanos(1));
+        assert_eq!(h.percentile(50.0), SimTime::from_nanos(50));
+        assert_eq!(h.percentile(99.0), SimTime::from_nanos(99));
+        assert_eq!(h.percentile(100.0), SimTime::from_nanos(100));
+        assert_eq!(h.min(), SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn records_out_of_order() {
+        let mut h = Histogram::new();
+        for ns in [5u64, 1, 9, 3] {
+            h.record(SimTime::from_nanos(ns));
+        }
+        assert_eq!(h.percentile(50.0), SimTime::from_nanos(3));
+        h.record(SimTime::from_nanos(2));
+        assert_eq!(h.percentile(50.0), SimTime::from_nanos(3));
+    }
+
+    #[test]
+    fn counter_ops() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn bad_percentile_panics() {
+        Histogram::new().percentile(101.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! FIFO fluid rate servers — the resource model for NICs, drives and cores.
+
+use std::fmt;
+
+use crate::SimTime;
+
+/// A transfer/processing rate in bytes per second.
+///
+/// Networking rates use decimal units (1 Gbps = 10⁹ bits/s); storage rates use
+/// decimal megabytes (1 MB/s = 10⁶ B/s), matching how the paper quotes both.
+///
+/// ```
+/// use draid_sim::ByteRate;
+/// assert_eq!(ByteRate::from_gbps(100.0).bytes_per_sec(), 12_500_000_000);
+/// assert_eq!(ByteRate::from_mb_per_sec(2375.0).bytes_per_sec(), 2_375_000_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ByteRate(u64);
+
+impl ByteRate {
+    /// A rate of zero bytes per second (never serves).
+    pub const ZERO: ByteRate = ByteRate(0);
+
+    /// Creates a rate from raw bytes per second.
+    pub const fn from_bytes_per_sec(bps: u64) -> Self {
+        ByteRate(bps)
+    }
+
+    /// Creates a rate from gigabits per second (network convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is negative or not finite.
+    pub fn from_gbps(gbps: f64) -> Self {
+        assert!(gbps.is_finite() && gbps >= 0.0, "invalid rate: {gbps}");
+        ByteRate((gbps * 1e9 / 8.0).round() as u64)
+    }
+
+    /// Creates a rate from decimal megabytes per second (storage convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbs` is negative or not finite.
+    pub fn from_mb_per_sec(mbs: f64) -> Self {
+        assert!(mbs.is_finite() && mbs >= 0.0, "invalid rate: {mbs}");
+        ByteRate((mbs * 1e6).round() as u64)
+    }
+
+    /// The rate in bytes per second.
+    pub const fn bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// The rate in gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 as f64 * 8.0 / 1e9
+    }
+
+    /// The rate in decimal megabytes per second.
+    pub fn as_mb_per_sec(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time to move `bytes` at this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn time_for(self, bytes: u64) -> SimTime {
+        assert!(self.0 > 0, "cannot serve at a zero rate");
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(self.0 as u128);
+        SimTime::from_nanos(u64::try_from(ns).expect("transfer duration overflow"))
+    }
+}
+
+impl fmt::Debug for ByteRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteRate({self})")
+    }
+}
+
+impl fmt::Display for ByteRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 125_000_000 {
+            write!(f, "{:.2}Gbps", self.as_gbps())
+        } else {
+            write!(f, "{:.2}MB/s", self.as_mb_per_sec())
+        }
+    }
+}
+
+/// The time window during which a [`RateResource`] worked on one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Service {
+    /// When the resource started on the request (>= submission time).
+    pub start: SimTime,
+    /// When the request's bytes finished flowing through the resource.
+    pub end: SimTime,
+}
+
+impl Service {
+    /// Queueing delay + service time experienced by the request.
+    pub fn latency_from(&self, submitted: SimTime) -> SimTime {
+        self.end.saturating_sub(submitted)
+    }
+}
+
+/// A FIFO fluid server: one NIC direction, one drive channel, or one core.
+///
+/// Requests are served in arrival order; serving `b` bytes occupies the
+/// resource for `b / rate`. This reproduces exactly the paper's bandwidth
+/// accounting: a resource can move at most `rate` bytes per second of
+/// simulated time, and concurrent demand queues.
+///
+/// ```
+/// use draid_sim::{ByteRate, RateResource, SimTime};
+/// let mut nic = RateResource::new(ByteRate::from_bytes_per_sec(1_000_000_000));
+/// let a = nic.serve(SimTime::ZERO, 1_000_000);            // 1 MB -> 1 ms
+/// let b = nic.serve(SimTime::ZERO, 1_000_000);            // queued behind a
+/// assert_eq!(a.end, SimTime::from_millis(1));
+/// assert_eq!(b.start, a.end);
+/// assert_eq!(b.end, SimTime::from_millis(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RateResource {
+    rate: ByteRate,
+    next_free: SimTime,
+    busy: SimTime,
+    bytes_served: u64,
+    requests: u64,
+}
+
+impl RateResource {
+    /// Creates an idle resource with the given default rate.
+    pub fn new(rate: ByteRate) -> Self {
+        RateResource {
+            rate,
+            next_free: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            bytes_served: 0,
+            requests: 0,
+        }
+    }
+
+    /// The default service rate.
+    pub fn rate(&self) -> ByteRate {
+        self.rate
+    }
+
+    /// Earliest instant at which new work could start.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total bytes served so far (traffic accounting for Table 1).
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Number of requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Cumulative busy time, for utilization reporting.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Fraction of `[0, now]` the resource spent busy.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / now.as_secs_f64()
+        }
+    }
+
+    /// Queues `bytes` at the default rate. See [`RateResource::serve_at_rate`].
+    pub fn serve(&mut self, now: SimTime, bytes: u64) -> Service {
+        self.serve_at_rate(now, bytes, self.rate)
+    }
+
+    /// Queues `bytes` at an explicit rate (used by shared drive channels whose
+    /// read and write rates differ). Returns the service window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn serve_at_rate(&mut self, now: SimTime, bytes: u64, rate: ByteRate) -> Service {
+        let start = self.next_free.max(now);
+        let duration = rate.time_for(bytes);
+        let end = start + duration;
+        self.next_free = end;
+        self.busy += duration;
+        self.bytes_served += bytes;
+        self.requests += 1;
+        Service { start, end }
+    }
+
+    /// Queues `bytes` preceded by a fixed setup occupancy (per-message NIC
+    /// processing, per-I/O software overhead). The resource is busy for
+    /// `setup + bytes / rate` as a single FIFO unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero while `bytes > 0`.
+    pub fn serve_with_setup(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        setup: SimTime,
+        rate: ByteRate,
+    ) -> Service {
+        let start = self.next_free.max(now);
+        let duration = if bytes == 0 {
+            setup
+        } else {
+            setup + rate.time_for(bytes)
+        };
+        let end = start + duration;
+        self.next_free = end;
+        self.busy += duration;
+        self.bytes_served += bytes;
+        self.requests += 1;
+        Service { start, end }
+    }
+
+    /// Queues a fixed-duration unit of work (per-message or per-I/O software
+    /// overhead) that occupies the resource without moving bytes.
+    pub fn serve_fixed(&mut self, now: SimTime, duration: SimTime) -> Service {
+        let start = self.next_free.max(now);
+        let end = start + duration;
+        self.next_free = end;
+        self.busy += duration;
+        self.requests += 1;
+        Service { start, end }
+    }
+
+    /// Resets accounting counters (not the clock); used between warm-up and
+    /// measurement phases.
+    pub fn reset_counters(&mut self) {
+        self.busy = SimTime::ZERO;
+        self.bytes_served = 0;
+        self.requests = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_conversions() {
+        let r = ByteRate::from_gbps(92.0);
+        assert!((r.as_gbps() - 92.0).abs() < 1e-9);
+        assert_eq!(ByteRate::from_mb_per_sec(1.0).bytes_per_sec(), 1_000_000);
+        assert_eq!(
+            ByteRate::from_bytes_per_sec(125_000_000).as_gbps(),
+            1.0 // 1 Gbps
+        );
+    }
+
+    #[test]
+    fn time_for_rounds_up() {
+        let r = ByteRate::from_bytes_per_sec(3);
+        // 10 bytes at 3 B/s = 3.33..s, rounded up to the next nanosecond.
+        assert_eq!(r.time_for(10).as_nanos(), 3_333_333_334);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rate")]
+    fn zero_rate_panics() {
+        ByteRate::ZERO.time_for(1);
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let mut res = RateResource::new(ByteRate::from_bytes_per_sec(1_000));
+        let s1 = res.serve(SimTime::ZERO, 1_000); // 1s
+        let s2 = res.serve(SimTime::from_millis(100), 500); // queued
+        assert_eq!(s1.end, SimTime::from_secs(1));
+        assert_eq!(s2.start, SimTime::from_secs(1));
+        assert_eq!(s2.end, SimTime::from_millis(1500));
+        assert_eq!(res.bytes_served(), 1_500);
+        assert_eq!(res.requests(), 2);
+    }
+
+    #[test]
+    fn idle_gap_not_counted_busy() {
+        let mut res = RateResource::new(ByteRate::from_bytes_per_sec(1_000));
+        res.serve(SimTime::ZERO, 1_000); // busy [0, 1s]
+        res.serve(SimTime::from_secs(5), 1_000); // busy [5s, 6s]
+        assert_eq!(res.busy_time(), SimTime::from_secs(2));
+        assert!((res.utilization(SimTime::from_secs(10)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_rates_on_shared_channel() {
+        let mut drive = RateResource::new(ByteRate::from_mb_per_sec(1.0));
+        let read = drive.serve_at_rate(SimTime::ZERO, 1_000_000, ByteRate::from_mb_per_sec(2.0));
+        let write = drive.serve_at_rate(SimTime::ZERO, 1_000_000, ByteRate::from_mb_per_sec(1.0));
+        assert_eq!(read.end, SimTime::from_millis(500));
+        assert_eq!(write.start, read.end);
+        assert_eq!(write.end, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn fixed_service_and_latency() {
+        let mut cpu = RateResource::new(ByteRate::from_bytes_per_sec(1));
+        let s = cpu.serve_fixed(SimTime::from_micros(3), SimTime::from_micros(2));
+        assert_eq!(s.end, SimTime::from_micros(5));
+        assert_eq!(s.latency_from(SimTime::from_micros(1)), SimTime::from_micros(4));
+    }
+}

@@ -1,0 +1,111 @@
+//! Degraded operation: fail a drive under load and watch the array keep
+//! serving — reads reconstruct through the dRAID reducer path (§6), writes
+//! keep parity consistent, and the data always comes back intact.
+//!
+//! ```text
+//! cargo run --release --example degraded_array
+//! ```
+
+use draid::block::{Cluster, ServerId};
+use draid::core::{ArrayConfig, ArraySim, DataMode, SystemKind, UserIo};
+use draid::sim::{DetRng, Engine};
+
+const OBJECTS: u64 = 64;
+const OBJECT_BYTES: u64 = 256 * 1024;
+
+fn main() -> Result<(), String> {
+    let mut cfg = ArrayConfig::paper_default(SystemKind::Draid);
+    cfg.data_mode = DataMode::Full;
+    // One extra server beyond the stripe width: the shared-pool hot spare.
+    let mut array = ArraySim::new(Cluster::homogeneous(cfg.width + 1), cfg)?;
+    let mut engine = Engine::new();
+
+    // Phase 1: populate the array with recognizable data.
+    let mut rng = DetRng::new(99);
+    let mut originals = Vec::new();
+    for i in 0..OBJECTS {
+        let mut data = vec![0u8; OBJECT_BYTES as usize];
+        rng.fill_bytes(&mut data);
+        originals.push(data.clone());
+        array.submit(
+            &mut engine,
+            UserIo::write_bytes(i * OBJECT_BYTES, bytes::Bytes::from(data)),
+        );
+    }
+    engine.run(&mut array);
+    let ok = array.drain_completions().iter().filter(|r| r.is_ok()).count();
+    println!("populated {ok}/{OBJECTS} objects ({} MiB total)", (OBJECTS * OBJECT_BYTES) >> 20);
+
+    // Phase 2: kill member 2 — the array enters degraded state.
+    array.fail_member(2);
+    println!(
+        "member 2 failed -> degraded = {}, faulty members = {:?}",
+        array.is_degraded(),
+        array.faulty_members()
+    );
+
+    // Phase 3: read everything back. Chunks that lived on the dead drive are
+    // reconstructed by surviving bdevs XOR-ing partials at a reducer, with
+    // only one copy of the data crossing the host NIC (Fig. 8).
+    for i in 0..OBJECTS {
+        array.submit(&mut engine, UserIo::read(i * OBJECT_BYTES, OBJECT_BYTES));
+    }
+    engine.run(&mut array);
+    let results = array.drain_completions();
+    let mut verified = 0;
+    for r in &results {
+        let idx = (r.offset / OBJECT_BYTES) as usize;
+        assert!(r.is_ok(), "degraded read failed: {:?}", r.error);
+        assert_eq!(
+            r.data.as_deref(),
+            Some(&originals[idx][..]),
+            "object {idx} corrupted"
+        );
+        verified += 1;
+    }
+    println!(
+        "verified {verified}/{OBJECTS} objects after the failure ({} took a degraded path)",
+        array.stats.degraded_ios
+    );
+
+    // Phase 4: write while degraded, then read it back too.
+    let mut fresh = vec![0u8; OBJECT_BYTES as usize];
+    rng.fill_bytes(&mut fresh);
+    array.submit(
+        &mut engine,
+        UserIo::write_bytes(0, bytes::Bytes::from(fresh.clone())),
+    );
+    engine.run(&mut array);
+    array.submit(&mut engine, UserIo::read(0, OBJECT_BYTES));
+    engine.run(&mut array);
+    let read_back = array.drain_completions().pop().expect("read result");
+    assert_eq!(read_back.data.as_deref(), Some(&fresh[..]));
+    println!("degraded write + read-back verified");
+
+    // Phase 5: rebuild the lost member onto a spare drive from the shared
+    // storage pool (Table 1's "hot spare: storage pool"). The data path is
+    // peer-to-peer: survivors → reducer → spare; the host only coordinates.
+    let spare = ServerId(array.config().width);
+    let used_stripes =
+        (OBJECTS * OBJECT_BYTES).div_ceil(array.layout().stripe_data_bytes());
+    let start = engine.now();
+    array.start_rebuild(&mut engine, 2, spare, used_stripes, 4);
+    engine.run(&mut array);
+    println!(
+        "rebuilt {used_stripes} stripes onto {spare:?} in {} -> degraded = {}",
+        engine.now().saturating_sub(start),
+        array.is_degraded()
+    );
+
+    // Everything still reads back, now without reconstruction.
+    array.submit(&mut engine, UserIo::read(OBJECT_BYTES, OBJECT_BYTES));
+    engine.run(&mut array);
+    let res = array.drain_completions().pop().expect("read result");
+    assert_eq!(res.data.as_deref(), Some(&originals[1][..]));
+    println!("post-rebuild read verified");
+    println!(
+        "array stats: reads={} writes={} retries={} timeouts={}",
+        array.stats.reads, array.stats.writes, array.stats.retries, array.stats.timeouts
+    );
+    Ok(())
+}

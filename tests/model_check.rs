@@ -1,0 +1,103 @@
+//! Property-based model checking of the whole array: arbitrary sequences of
+//! writes, reads and member failures are mirrored against a flat in-memory
+//! shadow device; the RAID array must agree with the shadow byte-for-byte,
+//! for every engine and level, as long as failures stay within the level's
+//! tolerance.
+
+use bytes::Bytes;
+use draid::block::Cluster;
+use draid::core::{ArrayConfig, ArraySim, DataMode, RaidLevel, SystemKind, UserIo};
+use draid::sim::Engine;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Write { offset: u64, data: Vec<u8> },
+    Read { offset: u64, len: u64 },
+    Fail { member: usize },
+}
+
+const DEVICE: u64 = 512 * 1024; // shadow device size
+
+fn action_strategy(width: usize) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0..DEVICE - 1, 1u64..32 * 1024).prop_flat_map(|(offset, len)| {
+            let len = len.min(DEVICE - offset);
+            proptest::collection::vec(any::<u8>(), len as usize..=len as usize)
+                .prop_map(move |data| Action::Write { offset, data })
+        }),
+        4 => (0..DEVICE - 1, 1u64..32 * 1024).prop_map(|(offset, len)| Action::Read {
+            offset,
+            len: len.min(DEVICE - offset),
+        }),
+        1 => (0..width).prop_map(|member| Action::Fail { member }),
+    ]
+}
+
+fn run_model(system: SystemKind, level: RaidLevel, actions: Vec<Action>) {
+    let mut cfg = ArrayConfig::paper_default(system);
+    cfg.level = level;
+    cfg.width = 6;
+    cfg.chunk_size = 8 * 1024;
+    cfg.data_mode = DataMode::Full;
+    let tolerance = level.parity_count();
+    let mut array = ArraySim::new(Cluster::homogeneous(6), cfg).expect("valid");
+    let mut engine: Engine<ArraySim> = Engine::new();
+    let mut shadow = vec![0u8; DEVICE as usize];
+    let mut failed = 0usize;
+
+    for action in actions {
+        match action {
+            Action::Write { offset, data } => {
+                shadow[offset as usize..offset as usize + data.len()].copy_from_slice(&data);
+                array.submit(&mut engine, UserIo::write_bytes(offset, Bytes::from(data)));
+                engine.run(&mut array);
+                let res = array.drain_completions().pop().expect("write done");
+                assert!(res.is_ok(), "write failed: {:?}", res.error);
+            }
+            Action::Read { offset, len } => {
+                array.submit(&mut engine, UserIo::read(offset, len));
+                engine.run(&mut array);
+                let res = array.drain_completions().pop().expect("read done");
+                assert!(res.is_ok(), "read failed: {:?}", res.error);
+                let expect = &shadow[offset as usize..(offset + len) as usize];
+                assert_eq!(
+                    res.data.as_deref(),
+                    Some(expect),
+                    "{system:?}/{level:?} divergence at {offset}+{len} (failed members: {:?})",
+                    array.faulty_members()
+                );
+            }
+            Action::Fail { member } => {
+                if failed < tolerance && !array.faulty_members().contains(&member) {
+                    array.fail_member(member);
+                    failed += 1;
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn draid_raid5_agrees_with_shadow(actions in proptest::collection::vec(action_strategy(6), 1..30)) {
+        run_model(SystemKind::Draid, RaidLevel::Raid5, actions);
+    }
+
+    #[test]
+    fn draid_raid6_agrees_with_shadow(actions in proptest::collection::vec(action_strategy(6), 1..30)) {
+        run_model(SystemKind::Draid, RaidLevel::Raid6, actions);
+    }
+
+    #[test]
+    fn spdk_raid5_agrees_with_shadow(actions in proptest::collection::vec(action_strategy(6), 1..25)) {
+        run_model(SystemKind::SpdkRaid, RaidLevel::Raid5, actions);
+    }
+
+    #[test]
+    fn linux_raid6_agrees_with_shadow(actions in proptest::collection::vec(action_strategy(6), 1..25)) {
+        run_model(SystemKind::LinuxMd, RaidLevel::Raid6, actions);
+    }
+}
