@@ -72,7 +72,9 @@ fn bench_resources(c: &mut Criterion) {
 
 fn bench_water_fill(c: &mut Criterion) {
     let mut g = c.benchmark_group("reducer");
-    let bandwidths: Vec<f64> = (0..18).map(|i| if i % 3 == 0 { 2_875.0 } else { 11_500.0 }).collect();
+    let bandwidths: Vec<f64> = (0..18)
+        .map(|i| if i % 3 == 0 { 2_875.0 } else { 11_500.0 })
+        .collect();
     g.bench_function("water_fill_18_members", |b| {
         b.iter(|| water_fill(black_box(&bandwidths), black_box(40_000.0)))
     });

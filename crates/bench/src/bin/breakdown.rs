@@ -72,10 +72,12 @@ fn main() {
         // Rebuild the op's DAG (deterministic for the same inputs).
         let io = &array.layout().map(0, IO)[0];
         let faulty = std::collections::HashSet::new();
-        let nodes: Vec<draid_net::NodeId> =
-            (0..array.config().width).map(|m| array.cluster.server_node(draid_block::ServerId(m))).collect();
-        let servers: Vec<draid_block::ServerId> =
-            (0..array.config().width).map(draid_block::ServerId).collect();
+        let nodes: Vec<draid_net::NodeId> = (0..array.config().width)
+            .map(|m| array.cluster.server_node(draid_block::ServerId(m)))
+            .collect();
+        let servers: Vec<draid_block::ServerId> = (0..array.config().width)
+            .map(draid_block::ServerId)
+            .collect();
         let ctx = draid_core::BuildCtx {
             cfg: array.config(),
             layout: array.layout(),

@@ -52,10 +52,16 @@ fn main() {
     // 3. Width-18 separation: dRAID near goodput, SPDK near half (Fig 12/14).
     let wide_job = FioJob::random_write(128 * 1024).queue_depth(96);
     let draid18 = runner
-        .run(build_array(&Scenario::paper(SystemKind::Draid).width(18)), &wide_job)
+        .run(
+            build_array(&Scenario::paper(SystemKind::Draid).width(18)),
+            &wide_job,
+        )
         .bandwidth_mb_per_sec;
     let spdk18 = runner
-        .run(build_array(&Scenario::paper(SystemKind::SpdkRaid).width(18)), &wide_job)
+        .run(
+            build_array(&Scenario::paper(SystemKind::SpdkRaid).width(18)),
+            &wide_job,
+        )
         .bandwidth_mb_per_sec;
     gate(
         "fig12-scaling",
@@ -105,9 +111,14 @@ fn main() {
     );
 
     // 6. Bandwidth-aware reducer beats random on a heterogeneous net (Fig 17b).
-    let hetero_job = FioJob::random_read(128 * 1024).queue_depth(16).target_member(0);
+    let hetero_job = FioJob::random_read(128 * 1024)
+        .queue_depth(16)
+        .target_member(0);
     let hetero = |policy| {
-        let opts = DraidOptions { reducer: policy, ..DraidOptions::default() };
+        let opts = DraidOptions {
+            reducer: policy,
+            ..DraidOptions::default()
+        };
         runner
             .run(
                 build_hetero_array(&Scenario::paper(SystemKind::Draid).failed(1).draid(opts), 3),
@@ -115,7 +126,10 @@ fn main() {
             )
             .bandwidth_mb_per_sec
     };
-    let (rnd, aware) = (hetero(ReducerPolicy::Random), hetero(ReducerPolicy::BandwidthAware));
+    let (rnd, aware) = (
+        hetero(ReducerPolicy::Random),
+        hetero(ReducerPolicy::BandwidthAware),
+    );
     gate(
         "fig17b-bw-aware",
         aware > 1.2 * rnd,
@@ -147,7 +161,10 @@ fn main() {
     gate(
         "sec7-member-cpu",
         util.max_member_cpu < 0.25,
-        format!("{:.1}% of one core (paper <25%)", util.max_member_cpu * 100.0),
+        format!(
+            "{:.1}% of one core (paper <25%)",
+            util.max_member_cpu * 100.0
+        ),
     );
 
     let failed = gates.iter().filter(|g| !g.pass).count();

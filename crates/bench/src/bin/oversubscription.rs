@@ -26,7 +26,11 @@ fn build(system: SystemKind, oversub: f64) -> ArraySim {
     b.two_tier(NicSpec::cx5_100g(), storage_uplink);
     b.host(vec![NicSpec::cx5_100g()], CpuSpec::default());
     for _ in 0..WIDTH {
-        b.server(vec![NicSpec::cx5_100g()], DriveSpec::default(), CpuSpec::default());
+        b.server(
+            vec![NicSpec::cx5_100g()],
+            DriveSpec::default(),
+            CpuSpec::default(),
+        );
     }
     let cfg = ArrayConfig::paper_default(system);
     ArraySim::new(b.build(), cfg).expect("valid config")
@@ -35,9 +39,7 @@ fn build(system: SystemKind, oversub: f64) -> ArraySim {
 fn main() {
     let runner = Runner::new();
     let job = FioJob::random_write(128 * 1024).queue_depth(48);
-    println!(
-        "two-tier topology, 128 KiB writes, RAID-5 x{WIDTH} (MB/s):\n"
-    );
+    println!("two-tier topology, 128 KiB writes, RAID-5 x{WIDTH} (MB/s):\n");
     println!(
         "{:>14} {:>10} {:>10} {:>9}",
         "storage core", "SPDK", "dRAID", "ratio"

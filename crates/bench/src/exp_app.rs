@@ -47,7 +47,11 @@ fn run_app_sweep(app: App, degraded: bool) -> Vec<Series> {
                     warmup: SimTime::from_millis(20),
                     measure: SimTime::from_millis(120),
                 };
-                runner.run(array, LsmStore::paper_default(), YcsbGen::new(w, 1_000_000, 7))
+                runner.run(
+                    array,
+                    LsmStore::paper_default(),
+                    YcsbGen::new(w, 1_000_000, 7),
+                )
             }
             App::Object => {
                 // §9.6: 200 K × 128 KiB objects, uniform distribution, many

@@ -8,11 +8,7 @@ use crate::figure::{Figure, Point, Series};
 use crate::parallel;
 use crate::setup::{build_array, build_hetero_array, Scenario};
 
-const SYSTEMS: [SystemKind; 3] = [
-    SystemKind::LinuxMd,
-    SystemKind::SpdkRaid,
-    SystemKind::Draid,
-];
+const SYSTEMS: [SystemKind; 3] = [SystemKind::LinuxMd, SystemKind::SpdkRaid, SystemKind::Draid];
 
 /// NIC goodput reference line (92 Gbps in MB/s), drawn in Figs. 12/14.
 pub(crate) const NIC_GOODPUT_MB: f64 = 11_500.0;
@@ -88,7 +84,10 @@ pub(crate) fn read_vs_io_size(id: &str, level: RaidLevel) -> Figure {
     let xs = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
     let mut fig = Figure::new(
         id,
-        format!("{} normal-state read on different I/O sizes", level_suffix(level)),
+        format!(
+            "{} normal-state read on different I/O sizes",
+            level_suffix(level)
+        ),
         "I/O size (KiB)",
         "MB/s",
     );
@@ -118,8 +117,12 @@ pub(crate) fn read_vs_io_size(id: &str, level: RaidLevel) -> Figure {
 /// RMW → reconstruct-write → full-stripe boundaries.
 pub(crate) fn write_vs_io_size(id: &str, level: RaidLevel) -> Figure {
     let xs: Vec<f64> = match level {
-        RaidLevel::Raid5 => vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 3584.0],
-        RaidLevel::Raid6 => vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 3072.0],
+        RaidLevel::Raid5 => vec![
+            4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 3584.0,
+        ],
+        RaidLevel::Raid6 => vec![
+            4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 3072.0,
+        ],
     };
     let mut fig = Figure::new(
         id,
@@ -213,7 +216,10 @@ pub(crate) fn write_vs_mix(id: &str, level: RaidLevel) -> Figure {
     let xs = [0.0, 25.0, 50.0, 75.0, 100.0];
     let mut fig = Figure::new(
         id,
-        format!("{} write on different read/write ratios", level_suffix(level)),
+        format!(
+            "{} write on different read/write ratios",
+            level_suffix(level)
+        ),
         "read %",
         "MB/s",
     );
@@ -262,7 +268,8 @@ pub(crate) fn latency_vs_bandwidth(id: &str, level: RaidLevel, read_ratio: f64) 
         )
     });
     for s in &fig.series {
-        fig.notes.push(format!("{} max bandwidth = {:.0} MB/s", s.label, s.peak()));
+        fig.notes
+            .push(format!("{} max bandwidth = {:.0} MB/s", s.label, s.peak()));
     }
     let claim = match (level, read_ratio == 0.0) {
         (RaidLevel::Raid5, true) => {
@@ -281,7 +288,10 @@ pub(crate) fn degraded_read_vs_io(id: &str, level: RaidLevel) -> Figure {
     let xs = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
     let mut fig = Figure::new(
         id,
-        format!("{} degraded read on different I/O sizes", level_suffix(level)),
+        format!(
+            "{} degraded read on different I/O sizes",
+            level_suffix(level)
+        ),
         "I/O size (KiB)",
         "MB/s",
     );
@@ -328,7 +338,10 @@ pub(crate) fn degraded_read_vs_width(id: &str, level: RaidLevel) -> Figure {
     );
     fig.series = three_system_sweep(&xs, |system, w| {
         (
-            Scenario::paper(system).level(level).width(w as usize).failed(1),
+            Scenario::paper(system)
+                .level(level)
+                .width(w as usize)
+                .failed(1),
             FioJob::random_read(128 * 1024).queue_depth(48),
         )
     });
@@ -337,7 +350,9 @@ pub(crate) fn degraded_read_vs_width(id: &str, level: RaidLevel) -> Figure {
             "paper: dRAID improvement up to 2.4x as width grows; measured @16 = {r:.2}x"
         ));
     }
-    fig.note("paper: Linux worsens with width; SPDK peaks near width 6-8 then declines".to_string());
+    fig.note(
+        "paper: Linux worsens with width; SPDK peaks near width 6-8 then declines".to_string(),
+    );
     fig
 }
 
@@ -366,9 +381,7 @@ pub(crate) fn reconstruction_scalability(id: &str) -> Figure {
         }
     }
     fig.series = run_sweep(specs);
-    fig.note(
-        "paper: dRAID near-optimal for all widths; SPDK flattens then declines".to_string(),
-    );
+    fig.note("paper: dRAID near-optimal for all widths; SPDK flattens then declines".to_string());
     fig
 }
 
@@ -450,7 +463,9 @@ pub(crate) fn degraded_write_vs_io(id: &str, level: RaidLevel) -> Figure {
             RaidLevel::Raid5 => "1.7x (both ~5% below normal state)",
             RaidLevel::Raid6 => "2.6x (SPDK -23%, dRAID -11% vs normal)",
         };
-        fig.note(format!("paper: dRAID/SPDK @128 KiB = {paper}; measured = {r:.2}x"));
+        fig.note(format!(
+            "paper: dRAID/SPDK @128 KiB = {paper}; measured = {r:.2}x"
+        ));
     }
     fig
 }

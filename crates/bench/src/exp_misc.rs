@@ -62,11 +62,18 @@ pub(crate) fn table1(id: &str) -> Figure {
             ],
         });
     }
-    fig.note("paper Table 1: write overhead — single-machine 1x, distributed 1-4x, dRAID 1x".to_string());
-    fig.note("paper Table 1: D-read overhead — single-machine 1x, distributed Nx, dRAID 1x".to_string());
+    fig.note(
+        "paper Table 1: write overhead — single-machine 1x, distributed 1-4x, dRAID 1x".to_string(),
+    );
+    fig.note(
+        "paper Table 1: D-read overhead — single-machine 1x, distributed Nx, dRAID 1x".to_string(),
+    );
     fig.note("static rows: fault tolerance — single-machine: disk only; distributed & dRAID: disk & server".to_string());
     fig.note("static rows: hot spare — single-machine: dedicated; distributed & dRAID: shared storage pool".to_string());
-    fig.note("static rows: scaling — single-machine: pre-provisioned; distributed & dRAID: on demand".to_string());
+    fig.note(
+        "static rows: scaling — single-machine: pre-provisioned; distributed & dRAID: on demand"
+            .to_string(),
+    );
     fig
 }
 
@@ -148,9 +155,27 @@ pub(crate) fn ablation(id: &str) -> Figure {
     let wide = parallel::map(
         vec![
             (0.0, full),
-            (1.0, DraidOptions { pipeline: false, ..full }),
-            (2.0, DraidOptions { nonblocking: false, ..full }),
-            (3.0, DraidOptions { peer_to_peer: false, ..full }),
+            (
+                1.0,
+                DraidOptions {
+                    pipeline: false,
+                    ..full
+                },
+            ),
+            (
+                2.0,
+                DraidOptions {
+                    nonblocking: false,
+                    ..full
+                },
+            ),
+            (
+                3.0,
+                DraidOptions {
+                    peer_to_peer: false,
+                    ..full
+                },
+            ),
         ],
         |(x, opts)| {
             let scenario = Scenario::paper(SystemKind::Draid).width(18).draid(opts);
@@ -178,8 +203,20 @@ pub(crate) fn ablation(id: &str) -> Figure {
     let low_qd = parallel::map(
         vec![
             ("full dRAID", full),
-            ("no pipeline", DraidOptions { pipeline: false, ..full }),
-            ("blocking reduce", DraidOptions { nonblocking: false, ..full }),
+            (
+                "no pipeline",
+                DraidOptions {
+                    pipeline: false,
+                    ..full
+                },
+            ),
+            (
+                "blocking reduce",
+                DraidOptions {
+                    nonblocking: false,
+                    ..full
+                },
+            ),
         ],
         |(name, opts)| {
             let scenario = Scenario::paper(SystemKind::Draid).draid(opts);
@@ -199,7 +236,10 @@ pub(crate) fn ablation(id: &str) -> Figure {
     let hetero = parallel::map(
         vec![
             ("random reducer (hetero net)", ReducerPolicy::Random),
-            ("bw-aware reducer (hetero net)", ReducerPolicy::BandwidthAware),
+            (
+                "bw-aware reducer (hetero net)",
+                ReducerPolicy::BandwidthAware,
+            ),
         ],
         |(name, policy)| {
             let opts = DraidOptions {

@@ -157,20 +157,11 @@ impl Figure {
     /// series per sweep point, normalized to the figure's maximum).
     pub fn to_ascii_chart(&self) -> String {
         const WIDTH: usize = 48;
-        let max = self
-            .series
-            .iter()
-            .map(Series::peak)
-            .fold(0.0f64, f64::max);
+        let max = self.series.iter().map(Series::peak).fold(0.0f64, f64::max);
         if max <= 0.0 || self.series.is_empty() {
             return String::new();
         }
-        let label_w = self
-            .series
-            .iter()
-            .map(|s| s.label.len())
-            .max()
-            .unwrap_or(0);
+        let label_w = self.series.iter().map(|s| s.label.len()).max().unwrap_or(0);
         let mut out = String::new();
         out.push_str(&format!(
             "{} — {} ({}, max {:.0})\n",
@@ -227,15 +218,31 @@ mod tests {
         fig.series.push(Series {
             label: "SPDK".into(),
             points: vec![
-                Point { x: 4.0, y: 100.0, latency_us: Some(10.0) },
-                Point { x: 128.0, y: 3000.0, latency_us: Some(500.0) },
+                Point {
+                    x: 4.0,
+                    y: 100.0,
+                    latency_us: Some(10.0),
+                },
+                Point {
+                    x: 128.0,
+                    y: 3000.0,
+                    latency_us: Some(500.0),
+                },
             ],
         });
         fig.series.push(Series {
             label: "dRAID".into(),
             points: vec![
-                Point { x: 4.0, y: 150.0, latency_us: Some(9.0) },
-                Point { x: 128.0, y: 5100.0, latency_us: Some(400.0) },
+                Point {
+                    x: 4.0,
+                    y: 150.0,
+                    latency_us: Some(9.0),
+                },
+                Point {
+                    x: 128.0,
+                    y: 5100.0,
+                    latency_us: Some(400.0),
+                },
             ],
         });
         fig

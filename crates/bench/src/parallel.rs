@@ -1,7 +1,7 @@
 //! Parallel sweep execution: every experiment point is an independent
 //! simulation, so points fan out across cores.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Maps `f` over `inputs` on a thread pool, preserving order.
 pub(crate) fn map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
@@ -23,20 +23,20 @@ where
     }
     let queue: Mutex<Vec<(usize, T)>> = Mutex::new(inputs.into_iter().enumerate().rev().collect());
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let Some((idx, input)) = queue.lock().pop() else {
+            scope.spawn(|| loop {
+                let Some((idx, input)) = queue.lock().expect("queue poisoned").pop() else {
                     break;
                 };
                 let r = f(input);
-                results.lock()[idx] = Some(r);
+                results.lock().expect("results poisoned")[idx] = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_inner()
+        .expect("results poisoned")
         .into_iter()
         .map(|r| r.expect("every input produced a result"))
         .collect()

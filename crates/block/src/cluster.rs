@@ -9,8 +9,9 @@ use crate::{Cpu, CpuSpec, Drive, DriveError, DriveSpec};
 
 /// Identifies a storage server (and its drive) within a cluster; dense from
 /// zero, independent of fabric [`NodeId`]s.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ServerId(pub usize);
 
 #[derive(Debug)]
@@ -64,12 +65,7 @@ impl ClusterBuilder {
     }
 
     /// Adds a storage server; returns its [`ServerId`].
-    pub fn server(
-        &mut self,
-        nics: Vec<NicSpec>,
-        drive: DriveSpec,
-        cpu: CpuSpec,
-    ) -> ServerId {
+    pub fn server(&mut self, nics: Vec<NicSpec>, drive: DriveSpec, cpu: CpuSpec) -> ServerId {
         self.servers.push((nics, drive, cpu));
         ServerId(self.servers.len() - 1)
     }
@@ -88,9 +84,9 @@ impl ClusterBuilder {
             "a RAID array needs at least two members"
         );
         let mut fb = FabricBuilder::new();
-        let rack_ids = self.racks.map(|(compute, storage)| {
-            (fb.add_rack(compute), fb.add_rack(storage))
-        });
+        let rack_ids = self
+            .racks
+            .map(|(compute, storage)| (fb.add_rack(compute), fb.add_rack(storage)));
         let host_node = match rack_ids {
             Some((compute, _)) => fb.add_node_in_rack("host", host_nics, compute),
             None => fb.add_node("host", host_nics),
@@ -196,6 +192,30 @@ impl Cluster {
             .get(&(from, to))
             .unwrap_or_else(|| panic!("no connection {from:?} -> {to:?}"));
         self.fabric.transfer(now, conn, bytes)
+    }
+
+    /// Fault-aware [`Cluster::transfer`]: fails fast with the refusing node
+    /// when either endpoint's link is down (network fault injection).
+    ///
+    /// # Errors
+    ///
+    /// [`draid_net::LinkError`] naming the endpoint whose link is down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair has no connection (i.e. `from == to`).
+    pub fn try_transfer(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> Result<Service, draid_net::LinkError> {
+        let conn = *self
+            .conns
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no connection {from:?} -> {to:?}"));
+        self.fabric.try_transfer(now, conn, bytes)
     }
 
     /// Queues a read on a server's drive.

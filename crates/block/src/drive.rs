@@ -89,6 +89,9 @@ pub struct Drive {
     channel: RateResource,
     state: DriveState,
     qos: Option<crate::TokenBucket>,
+    /// Fail-slow multiplier: ≥ 1.0; bandwidth divides by it and access
+    /// latency multiplies by it. 1.0 = nominal.
+    slow_factor: f64,
     reads: u64,
     writes: u64,
 }
@@ -101,6 +104,7 @@ impl Drive {
             channel: RateResource::new(spec.read_rate),
             state: DriveState::Healthy,
             qos: None,
+            slow_factor: 1.0,
             reads: 0,
             writes: 0,
         }
@@ -138,12 +142,31 @@ impl Drive {
         self.state = DriveState::Failed;
     }
 
+    /// Injects (or clears, with `factor = 1.0`) a fail-slow condition: the
+    /// drive keeps answering without errors but serves at `1/factor` of its
+    /// nominal bandwidth with `factor`× its access latency — the gray-failure
+    /// mode a fault-management plane must detect from latency alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor >= 1.0`.
+    pub fn set_fail_slow(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor >= 1.0, "factor must be >= 1");
+        self.slow_factor = factor;
+    }
+
+    /// The current fail-slow multiplier (1.0 = healthy speed).
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
     /// Replaces the drive with a healthy one (hot-spare swap from the shared
     /// storage pool, Table 1).
     pub fn replace(&mut self) {
         self.state = DriveState::Healthy;
         self.channel = RateResource::new(self.spec.read_rate);
         self.qos = None;
+        self.slow_factor = 1.0;
         self.reads = 0;
         self.writes = 0;
     }
@@ -160,10 +183,10 @@ impl Drive {
         let start = self.shape(now, bytes);
         let svc = self
             .channel
-            .serve_at_rate(start, bytes, self.spec.read_rate);
+            .serve_at_rate(start, bytes, self.effective(self.spec.read_rate));
         Ok(Service {
             start: svc.start,
-            end: svc.end + self.spec.read_latency,
+            end: svc.end + self.stretch(self.spec.read_latency),
         })
     }
 
@@ -179,11 +202,19 @@ impl Drive {
         let start = self.shape(now, bytes);
         let svc = self
             .channel
-            .serve_at_rate(start, bytes, self.spec.write_rate);
+            .serve_at_rate(start, bytes, self.effective(self.spec.write_rate));
         Ok(Service {
             start: svc.start,
-            end: svc.end + self.spec.write_latency,
+            end: svc.end + self.stretch(self.spec.write_latency),
         })
+    }
+
+    fn effective(&self, rate: draid_sim::ByteRate) -> draid_sim::ByteRate {
+        rate.scaled(1.0 / self.slow_factor)
+    }
+
+    fn stretch(&self, latency: SimTime) -> SimTime {
+        SimTime::from_nanos((latency.as_nanos() as f64 * self.slow_factor).round() as u64)
     }
 
     fn shape(&mut self, now: SimTime, bytes: u64) -> SimTime {

@@ -145,7 +145,7 @@ mod tests {
     fn bucket_recovers_after_idle() {
         let mut tb = TokenBucket::new(ByteRate::from_mb_per_sec(1.0), 50_000);
         tb.admit(SimTime::ZERO, 50_000); // drain the burst
-        // After a long idle period the bucket refills; admission is instant.
+                                         // After a long idle period the bucket refills; admission is instant.
         let t = SimTime::from_secs(1);
         assert_eq!(tb.admit(t, 50_000), t);
     }

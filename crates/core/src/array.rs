@@ -17,6 +17,7 @@ use draid_sim::{DetRng, Engine, SimTime};
 use crate::config::{ArrayConfig, DataMode, ReducerPolicy, SystemKind};
 use crate::datastore::ChunkStore;
 use crate::exec::OpState;
+use crate::health::{HealthConfig, HealthMonitor, HealthState};
 use crate::io::{IoError, IoId, IoKind, IoResult, UserIo};
 use crate::layout::Layout;
 use crate::lock::LockTable;
@@ -63,7 +64,7 @@ pub struct ArraySim {
     pub(crate) member_nodes: Vec<NodeId>,
     pub(crate) member_servers: Vec<ServerId>,
     pub(crate) faulty: HashSet<usize>,
-    member_errors: Vec<(u32, SimTime)>,
+    pub(crate) health: HealthMonitor,
     pub(crate) locks: LockTable,
     pub(crate) ops: Vec<Option<OpState>>,
     pub(crate) free_ops: Vec<usize>,
@@ -85,6 +86,7 @@ pub struct ArraySim {
     pub(crate) volumes: crate::volume::VolumeTable,
     pub(crate) volume_cursor: u64,
     pub(crate) user_volumes: HashMap<u64, crate::volume::VolumeId>,
+    pub(crate) fault_mgr: Option<crate::fault::FaultManagerState>,
 }
 
 impl std::fmt::Debug for ArraySim {
@@ -128,7 +130,10 @@ impl ArraySim {
             member_nodes,
             member_servers,
             faulty: HashSet::new(),
-            member_errors: vec![(0, SimTime::ZERO); cfg.width],
+            health: HealthMonitor::new(
+                cfg.width,
+                HealthConfig::for_deadline(cfg.op_deadline, cfg.fault_threshold),
+            ),
             locks: LockTable::new(),
             ops: Vec::new(),
             free_ops: Vec::new(),
@@ -149,6 +154,7 @@ impl ArraySim {
             volumes: crate::volume::VolumeTable::new(),
             volume_cursor: 0,
             user_volumes: HashMap::new(),
+            fault_mgr: None,
             cfg,
         })
     }
@@ -273,8 +279,7 @@ impl ArraySim {
         }
 
         let stripe_ios = self.layout.map(io.offset, io.len);
-        let needs_read_buf =
-            io.kind == IoKind::Read && self.cfg.data_mode == DataMode::Full;
+        let needs_read_buf = io.kind == IoKind::Read && self.cfg.data_mode == DataMode::Full;
         let user = UserState {
             submitted: eng.now(),
             pending: stripe_ios.len(),
@@ -322,7 +327,9 @@ impl ArraySim {
     /// degraded state immediately (the §9.4/§9.5 experiment setup).
     pub fn fail_member(&mut self, member: usize) {
         assert!(member < self.cfg.width, "member out of range");
-        self.cluster.drive_mut(self.member_servers[member]).fail_permanently();
+        self.cluster
+            .drive_mut(self.member_servers[member])
+            .fail_permanently();
         self.mark_faulty(member);
     }
 
@@ -338,6 +345,7 @@ impl ArraySim {
 
     pub(crate) fn mark_faulty(&mut self, member: usize) {
         if self.faulty.insert(member) {
+            self.health.set_state(member, HealthState::Faulty);
             self.cluster
                 .drive_mut(self.member_servers[member])
                 .fail_permanently();
@@ -347,39 +355,48 @@ impl ArraySim {
         }
     }
 
+    /// Per-member health: states, latency EWMAs, and error evidence.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// The member a server currently backs, if any (spares and already
+    /// swapped-out drives back nobody).
+    pub(crate) fn member_of(&self, server: ServerId) -> Option<usize> {
+        self.member_servers.iter().position(|&s| s == server)
+    }
+
+    /// The member whose target currently sits at `node`, if any.
+    pub(crate) fn member_of_node(&self, node: NodeId) -> Option<usize> {
+        self.member_nodes.iter().position(|&n| n == node)
+    }
+
     /// Records a drive error toward the §5.4 prolonged-failure detector.
     /// Errors within one op-deadline window count once (a single burst of
     /// failing retries is one piece of evidence, not many), and any
     /// successful drive I/O resets the count — so only failures that
-    /// *persist* across several deadline windows fault the member.
+    /// *persist* across several deadline windows fault the member. The
+    /// evidence escalates through the [`HealthState`] ladder; reaching
+    /// `Faulty` declares the member.
     pub(crate) fn note_member_error(&mut self, now: SimTime, member: usize) {
-        if member >= self.member_errors.len() {
-            return; // spare drives are outside the member error table
+        if member >= self.cfg.width {
+            return; // spare drives are outside the member health table
         }
-        // Evidence window: the first-retry backoff (deadline/8), so each
-        // failed attempt of an op's retry ladder counts separately while a
-        // single attempt's burst of leg errors counts once.
-        let window = SimTime::from_nanos(self.cfg.op_deadline.as_nanos() / 8);
-        let (count, last) = &mut self.member_errors[member];
-        if *count > 0 && now.saturating_sub(*last) < window {
-            return;
-        }
-        *count += 1;
-        *last = now;
-        if *count >= self.cfg.fault_threshold {
+        if self.health.record_error(member, now) == HealthState::Faulty {
             self.mark_faulty(member);
         }
     }
 
-    /// A successful drive I/O proves the member is alive.
-    pub(crate) fn note_member_success(&mut self, member: usize) {
-        if let Some(slot) = self.member_errors.get_mut(member) {
-            *slot = (0, SimTime::ZERO);
+    /// A successful drive I/O proves the member is alive and feeds its
+    /// latency EWMA (the fail-slow detector's signal).
+    pub(crate) fn note_member_success(&mut self, member: usize, latency: SimTime) {
+        if member < self.cfg.width {
+            self.health.record_success(member, latency);
         }
     }
 
     pub(crate) fn reset_member_errors(&mut self, member: usize) {
-        self.member_errors[member] = (0, SimTime::ZERO);
+        self.health.reset(member);
     }
 
     pub(crate) fn fresh_gen(&mut self) -> u64 {
@@ -409,9 +426,7 @@ impl ArraySim {
         eligible.sort_unstable();
         assert!(!eligible.is_empty(), "no eligible reducer");
         match self.cfg.draid.reducer {
-            ReducerPolicy::Random => {
-                eligible[self.rng.below(eligible.len() as u64) as usize]
-            }
+            ReducerPolicy::Random => eligible[self.rng.below(eligible.len() as u64) as usize],
             ReducerPolicy::BandwidthAware => {
                 self.maybe_update_selector(now);
                 self.selector.choose(&mut self.rng, &eligible)

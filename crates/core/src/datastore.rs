@@ -106,16 +106,12 @@ impl ChunkStore {
             let data = self.data_chunks(io.stripe, failed);
             for seg in &io.segments {
                 let chunk = &data[seg.data_index];
-                out.extend_from_slice(
-                    &chunk[seg.offset as usize..(seg.offset + seg.len) as usize],
-                );
+                out.extend_from_slice(&chunk[seg.offset as usize..(seg.offset + seg.len) as usize]);
             }
         } else {
             for seg in &io.segments {
                 let chunk = self.chunk(io.stripe, seg.member);
-                out.extend_from_slice(
-                    &chunk[seg.offset as usize..(seg.offset + seg.len) as usize],
-                );
+                out.extend_from_slice(&chunk[seg.offset as usize..(seg.offset + seg.len) as usize]);
             }
         }
         out
@@ -143,8 +139,8 @@ impl ChunkStore {
         let mut new_data = old_data.clone();
         let mut cursor = 0usize;
         for seg in &io.segments {
-            let dst = &mut new_data[seg.data_index]
-                [seg.offset as usize..(seg.offset + seg.len) as usize];
+            let dst =
+                &mut new_data[seg.data_index][seg.offset as usize..(seg.offset + seg.len) as usize];
             dst.copy_from_slice(&payload[cursor..cursor + seg.len as usize]);
             cursor += seg.len as usize;
         }
@@ -187,7 +183,10 @@ impl ChunkStore {
                     let mut p = self.chunk(stripe, self.layout.p_member(stripe));
                     for seg in &io.segments {
                         let k = seg.data_index;
-                        draid_ec::xor_into(&mut p, &Raid5::partial_delta(&old_data[k], &new_data[k]));
+                        draid_ec::xor_into(
+                            &mut p,
+                            &Raid5::partial_delta(&old_data[k], &new_data[k]),
+                        );
                     }
                     (p, None)
                 } else {
@@ -197,11 +196,13 @@ impl ChunkStore {
             RaidLevel::Raid6 => {
                 if use_delta {
                     let mut p = self.chunk(stripe, self.layout.p_member(stripe));
-                    let mut q =
-                        self.chunk(stripe, self.layout.q_member(stripe).expect("raid6"));
+                    let mut q = self.chunk(stripe, self.layout.q_member(stripe).expect("raid6"));
                     for seg in &io.segments {
                         let k = seg.data_index;
-                        draid_ec::xor_into(&mut p, &Raid5::partial_delta(&old_data[k], &new_data[k]));
+                        draid_ec::xor_into(
+                            &mut p,
+                            &Raid5::partial_delta(&old_data[k], &new_data[k]),
+                        );
                         draid_ec::xor_into(
                             &mut q,
                             &Raid6::partial_q_delta(k, &old_data[k], &new_data[k]),
@@ -309,7 +310,9 @@ mod tests {
     }
 
     fn payload(len: u64, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect()
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31) ^ seed)
+            .collect()
     }
 
     #[test]
@@ -375,7 +378,10 @@ mod tests {
         assert_eq!(io.segments[0].member, victim);
         let data = payload(4096, 11);
         store.apply_write(io, &data, WriteMode::ReconstructWrite, &failed);
-        assert!(!store.chunks.contains_key(&(0, victim)), "dead drive not written");
+        assert!(
+            !store.chunks.contains_key(&(0, victim)),
+            "dead drive not written"
+        );
         assert_eq!(store.read(io, &failed), data, "parity encodes new data");
     }
 
@@ -414,6 +420,9 @@ mod tests {
         let store = ChunkStore::new(layout);
         let io = &layout.map(12345, 100)[0];
         assert_eq!(store.read(io, &HashSet::new()), vec![0u8; 100]);
-        assert!(store.verify_stripe(io.stripe), "all-zero stripe is consistent");
+        assert!(
+            store.verify_stripe(io.stripe),
+            "all-zero stripe is consistent"
+        );
     }
 }

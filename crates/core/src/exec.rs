@@ -216,16 +216,34 @@ impl ArraySim {
         };
         let end = match kind {
             StepKind::Transfer { from, to, bytes } => {
-                self.cluster.transfer(now, from, to, bytes).end
+                match self.cluster.try_transfer(now, from, to, bytes) {
+                    Ok(svc) => svc.end,
+                    Err(e) => {
+                        // A dead link surfaces like a member error when the
+                        // lost endpoint is an array member's target; losing
+                        // the host's own link blames nobody — the op simply
+                        // fails and retries (§5.4 treats both as network
+                        // faults discovered by the initiator).
+                        let why = match self.member_of_node(e.node) {
+                            Some(m) => OpFailure::MemberError(m),
+                            None => OpFailure::Timeout,
+                        };
+                        self.op_failed(eng, idx, why);
+                        return;
+                    }
+                }
             }
             StepKind::DriveRead { server, bytes } => {
                 match self.cluster.drive_read(now, server, bytes) {
                     Ok(svc) => {
-                        self.note_member_success(server.0);
+                        if let Some(m) = self.member_of(server) {
+                            self.note_member_success(m, svc.latency_from(now));
+                        }
                         svc.end
                     }
                     Err(_) => {
-                        self.op_failed(eng, idx, OpFailure::MemberError(server.0));
+                        let m = self.member_of(server).unwrap_or(usize::MAX);
+                        self.op_failed(eng, idx, OpFailure::MemberError(m));
                         return;
                     }
                 }
@@ -233,11 +251,14 @@ impl ArraySim {
             StepKind::DriveWrite { server, bytes } => {
                 match self.cluster.drive_write(now, server, bytes) {
                     Ok(svc) => {
-                        self.note_member_success(server.0);
+                        if let Some(m) = self.member_of(server) {
+                            self.note_member_success(m, svc.latency_from(now));
+                        }
                         svc.end
                     }
                     Err(_) => {
-                        self.op_failed(eng, idx, OpFailure::MemberError(server.0));
+                        let m = self.member_of(server).unwrap_or(usize::MAX);
+                        self.op_failed(eng, idx, OpFailure::MemberError(m));
                         return;
                     }
                 }
@@ -347,7 +368,8 @@ impl ArraySim {
             && !self.is_failed();
         if retry {
             self.stats.retries += 1;
-            let mut next = OpState::new(self.fresh_gen(), op.user, op.io.clone(), op.kind);
+            let gen = self.fresh_gen();
+            let mut next = OpState::new(gen, op.user, op.io.clone(), op.kind);
             next.retries = op.retries + 1;
             next.holds_lock = op.holds_lock;
             next.force_rcw = op.force_rcw;
@@ -356,10 +378,9 @@ impl ArraySim {
                 self.locks.transfer(op.io.stripe, idx, new_idx);
             }
             // Back off before retrying so short transients clear (§5.4: the
-            // host retries only after the op reaches a final state).
-            let backoff = SimTime::from_nanos(
-                self.cfg.op_deadline.as_nanos() / 2u64.pow(3u32.saturating_sub(op.retries.min(3))),
-            );
+            // host retries only after the op reaches a final state). The
+            // jitter keeps ops that failed together from retrying together.
+            let backoff = retry_backoff(self.cfg.op_deadline, op.retries, gen);
             eng.schedule_in(backoff, move |w: &mut ArraySim, eng| {
                 if w.ops[new_idx].is_some() {
                     w.launch_op(eng, new_idx);
@@ -399,7 +420,8 @@ impl ArraySim {
             }
             if matches!(
                 op.purpose,
-                Some(Purpose::Read { degraded: true }) | Some(Purpose::Write { degraded: true, .. })
+                Some(Purpose::Read { degraded: true })
+                    | Some(Purpose::Write { degraded: true, .. })
             ) {
                 user.degraded = true;
             }
@@ -408,6 +430,11 @@ impl ArraySim {
                 self.complete_user(eng, user_id);
             }
         }
+
+        // Op completions are the fault-management plane's clock: the engine
+        // drains its queue, so a self-rescheduling tick would never let a
+        // run terminate. Rate limiting lives inside the tick.
+        self.maybe_tick_fault_manager(eng);
     }
 
     /// Applies the operation's semantic effect to the chunk store (full data
@@ -455,5 +482,76 @@ impl ArraySim {
             }
             None => {}
         }
+    }
+}
+
+/// The §5.4 retry backoff: a capped exponential ladder — `deadline/8`,
+/// `/4`, `/2`, then one full deadline — with deterministic additive jitter
+/// of up to 25%, derived from the retry op's generation, so ops that failed
+/// in the same instant (one dead link kills a whole burst) don't hammer the
+/// recovering resource in lockstep on every subsequent attempt. Jitter only
+/// ever *lengthens* the wait: retrying earlier than the ladder would squeeze
+/// extra failed attempts into a short transient and push an innocent member
+/// over the fault threshold.
+pub(crate) fn retry_backoff(deadline: SimTime, retries: u32, gen: u64) -> SimTime {
+    let base = (deadline.as_nanos() / 8)
+        .saturating_mul(1 << retries.min(3))
+        .min(deadline.as_nanos());
+    // splitmix64: full-avalanche mix of the generation into [1.0, 1.25).
+    let mut z = gen.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    let factor = 1.0 + 0.25 * unit;
+    SimTime::from_nanos((base as f64 * factor).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retry_backoff;
+    use draid_sim::SimTime;
+
+    const DEADLINE: SimTime = SimTime::from_millis(250);
+
+    #[test]
+    fn backoff_follows_capped_ladder_within_jitter() {
+        for (retries, expect_ns) in [
+            (0u32, DEADLINE.as_nanos() / 8),
+            (1, DEADLINE.as_nanos() / 4),
+            (2, DEADLINE.as_nanos() / 2),
+            (3, DEADLINE.as_nanos()),
+            // The ladder is capped: further retries keep the full deadline.
+            (7, DEADLINE.as_nanos()),
+        ] {
+            for gen in 1..50u64 {
+                let b = retry_backoff(DEADLINE, retries, gen).as_nanos() as f64;
+                let base = expect_ns as f64;
+                assert!(
+                    (base..1.25 * base).contains(&b),
+                    "retries {retries} gen {gen}: {b} outside jitter of {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colliding_ops_desynchronize() {
+        // Two ops failing at the same instant with the same retry count get
+        // distinct backoffs (their retry generations differ), and the spread
+        // is wide enough to matter — at least 1% of the base delay.
+        let a = retry_backoff(DEADLINE, 1, 101);
+        let b = retry_backoff(DEADLINE, 1, 102);
+        assert_ne!(a, b);
+        let gap = a.as_nanos().abs_diff(b.as_nanos());
+        assert!(
+            gap * 100 > DEADLINE.as_nanos() / 4,
+            "jitter gap {gap}ns too small to desynchronize"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        assert_eq!(retry_backoff(DEADLINE, 2, 7), retry_backoff(DEADLINE, 2, 7));
     }
 }

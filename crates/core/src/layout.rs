@@ -300,7 +300,7 @@ mod tests {
     fn map_spans_chunks_and_stripes() {
         let l = layout(RaidLevel::Raid5, 8, 512);
         let stripe_bytes = l.stripe_data_bytes(); // 3584 KiB
-        // An I/O straddling the stripe boundary.
+                                                  // An I/O straddling the stripe boundary.
         let ios = l.map(stripe_bytes - 1024, 4096);
         assert_eq!(ios.len(), 2);
         assert_eq!(ios[0].stripe, 0);

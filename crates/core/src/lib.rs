@@ -56,6 +56,8 @@ mod config;
 mod dag;
 mod datastore;
 mod exec;
+mod fault;
+mod health;
 mod io;
 mod layout;
 mod lock;
@@ -76,10 +78,12 @@ pub use config::{
 };
 pub use dag::{Dag, Step, StepKind};
 pub use datastore::ChunkStore;
+pub use fault::{FaultAction, FaultManagerConfig, FaultSchedule};
+pub use health::{HealthConfig, HealthMonitor, HealthState, MemberHealth};
 pub use io::{IoError, IoId, IoKind, IoResult, UserIo};
 pub use layout::{Layout, Segment, StripeIo, WriteMode};
 pub use lock::LockTable;
 pub use rebuild::RebuildStatus;
-pub use volume::{VolumeError, VolumeId};
 pub use scrub::ScrubStatus;
 pub use stats::ArrayStats;
+pub use volume::{VolumeError, VolumeId};

@@ -94,7 +94,10 @@ impl LockTable {
 
     /// Number of tickets waiting (not holding) across all stripes.
     pub fn waiting(&self) -> usize {
-        self.stripes.values().map(|q| q.len().saturating_sub(1)).sum()
+        self.stripes
+            .values()
+            .map(|q| q.len().saturating_sub(1))
+            .sum()
     }
 
     /// Total grants so far (immediate + after queueing).

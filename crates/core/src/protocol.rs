@@ -204,12 +204,7 @@ impl Command {
         out.extend_from_slice(&self.length.to_le_bytes());
         out.extend_from_slice(&self.fwd_offset.to_le_bytes());
         out.extend_from_slice(&self.fwd_length.to_le_bytes());
-        out.extend_from_slice(
-            &self
-                .next_dest
-                .map_or(u32::MAX, |d| d.member)
-                .to_le_bytes(),
-        );
+        out.extend_from_slice(&self.next_dest.map_or(u32::MAX, |d| d.member).to_le_bytes());
         out.extend_from_slice(&self.wait_num.to_le_bytes());
         out.extend_from_slice(&[0u8; 8]); // buffer address (unused in simulation)
         if let Some(d2) = self.next_dest2 {
@@ -232,7 +227,8 @@ impl Command {
         }
         let u64_at = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("8 bytes"));
         let u32_at = |i: usize| u32::from_le_bytes(buf[i..i + 4].try_into().expect("4 bytes"));
-        let opcode = Opcode::from_byte(buf[8]).ok_or_else(|| format!("bad opcode {:#x}", buf[8]))?;
+        let opcode =
+            Opcode::from_byte(buf[8]).ok_or_else(|| format!("bad opcode {:#x}", buf[8]))?;
         let subtype = if buf[9] == 0xFF {
             None
         } else {

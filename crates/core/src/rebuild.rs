@@ -97,6 +97,8 @@ impl ArraySim {
         );
         assert!(spare.0 < self.cluster.width(), "spare not in the cluster");
         assert!(concurrency > 0, "rebuild concurrency must be positive");
+        self.health
+            .set_state(member, crate::health::HealthState::Rebuilding);
         self.rebuild = Some(RebuildState {
             member,
             spare,
@@ -209,7 +211,12 @@ impl ArraySim {
                 },
                 &[root],
             );
-            let tgt_io = dag.add(StepKind::PerIo { node: self.member_nodes[m] }, &[cmd]);
+            let tgt_io = dag.add(
+                StepKind::PerIo {
+                    node: self.member_nodes[m],
+                },
+                &[cmd],
+            );
             let read = dag.add(
                 StepKind::DriveRead {
                     server: self.member_servers[m],
@@ -290,18 +297,31 @@ impl ArraySim {
                 // The spare (or too many survivors) keeps erroring: abandon
                 // the rebuild; the member stays faulty.
                 self.rebuild = None;
+                self.health
+                    .set_state(member, crate::health::HealthState::Faulty);
                 return;
             }
-            // Put the stripe back; it will be retried by the next pump.
+            // Put the stripe back and back off before retrying, exactly like
+            // a §5.4 foreground retry — re-pumping immediately would grind
+            // through the whole failure budget within a short transient
+            // (drive errors are instantaneous) and abandon a salvageable
+            // rebuild.
             r.next_stripe = r.next_stripe.min(stripe);
+            let attempt = r.failures.min(3) as u32;
+            let backoff =
+                crate::exec::retry_backoff(self.cfg.op_deadline, attempt, self.fresh_gen());
+            eng.schedule_in(backoff, |w: &mut ArraySim, eng| {
+                w.pump_rebuild(eng);
+            });
         } else {
             r.completed += 1;
+            if r.completed >= r.total {
+                self.finish_rebuild();
+            } else {
+                self.pump_rebuild(eng);
+            }
         }
-        if r.completed >= r.total {
-            self.finish_rebuild();
-            return;
-        }
-        self.pump_rebuild(eng);
+        self.maybe_tick_fault_manager(eng);
     }
 
     /// Final swap: the spare becomes the member, the member leaves the

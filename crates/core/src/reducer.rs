@@ -225,13 +225,12 @@ mod tests {
         let b = [100.0, 100.0, 25.0];
         let t = 90.0;
         let p = water_fill(&b, t);
-        let headroom =
-            |p: &[f64]| -> f64 {
-                b.iter()
-                    .zip(p)
-                    .map(|(&bi, &pi)| bi - pi * t)
-                    .fold(f64::MAX, f64::min)
-            };
+        let headroom = |p: &[f64]| -> f64 {
+            b.iter()
+                .zip(p)
+                .map(|(&bi, &pi)| bi - pi * t)
+                .fold(f64::MAX, f64::min)
+        };
         let uniform = vec![1.0 / 3.0; 3];
         assert!(headroom(&p) > headroom(&uniform) + 1.0);
     }

@@ -104,11 +104,16 @@ impl ArraySim {
 
         let dag = self.build_scrub_dag(stripe);
         let gen = self.fresh_gen();
-        let mut op = OpState::new(gen, 0, StripeIo {
-            stripe,
-            buf_offset: 0,
-            segments: Vec::new(),
-        }, IoKind::Read);
+        let mut op = OpState::new(
+            gen,
+            0,
+            StripeIo {
+                stripe,
+                buf_offset: 0,
+                segments: Vec::new(),
+            },
+            IoKind::Read,
+        );
         op.scrub = true;
         let idx = self.alloc_op(op);
         self.launch_prebuilt(eng, idx, dag);
@@ -176,7 +181,12 @@ impl ArraySim {
     }
 
     /// Called by the executor when a scrub stripe op finishes.
-    pub(crate) fn on_scrub_op_done(&mut self, eng: &mut Engine<ArraySim>, stripe: u64, failed: bool) {
+    pub(crate) fn on_scrub_op_done(
+        &mut self,
+        eng: &mut Engine<ArraySim>,
+        stripe: u64,
+        failed: bool,
+    ) {
         // Verify against the data plane (when present) at completion time.
         let clean = match &self.store {
             Some(store) => store.verify_stripe(stripe),
@@ -187,12 +197,19 @@ impl ArraySim {
         };
         s.inflight -= 1;
         s.checked += 1;
-        if failed {
-            // Unreadable stripes count as findings too.
-            s.mismatches.push(stripe);
-        } else if !clean {
+        // Unreadable stripes count as findings too.
+        let mismatch = failed || !clean;
+        if mismatch {
             s.mismatches.push(stripe);
         }
         self.pump_scrub(eng);
+        // md's `repair` sync action: a flagged stripe gets its parity
+        // rewritten from the data immediately, so latent corruption never
+        // survives until the next member failure makes it unrecoverable.
+        if mismatch && !clean && self.cfg.scrub_repair && !self.is_failed() {
+            self.stats.scrub_repairs += 1;
+            self.repair_stripe(eng, stripe);
+        }
+        self.maybe_tick_fault_manager(eng);
     }
 }

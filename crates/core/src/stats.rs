@@ -29,6 +29,8 @@ pub struct ArrayStats {
     pub degraded_ios: u64,
     /// User I/Os that failed permanently.
     pub failed_ios: u64,
+    /// Stripes whose parity was rewritten after a scrub finding.
+    pub scrub_repairs: u64,
 }
 
 impl ArrayStats {
@@ -72,8 +74,7 @@ impl ArrayStats {
         if n == 0 {
             return SimTime::ZERO;
         }
-        let total = self.read_latency.mean().as_nanos() as u128
-            * self.read_latency.len() as u128
+        let total = self.read_latency.mean().as_nanos() as u128 * self.read_latency.len() as u128
             + self.write_latency.mean().as_nanos() as u128 * self.write_latency.len() as u128;
         SimTime::from_nanos((total / n as u128) as u64)
     }

@@ -57,7 +57,10 @@ pub struct PartialForward {
 pub fn handle_data_chunk(cmd: &Command) -> DataChunkPlan {
     assert_eq!(cmd.opcode, Opcode::PartialWrite, "not a PartialWrite");
     let subtype = cmd.subtype.expect("PartialWrite carries a subtype");
-    let dest = cmd.next_dest.expect("PartialWrite names its reducer").member;
+    let dest = cmd
+        .next_dest
+        .expect("PartialWrite names its reducer")
+        .member;
     let forward = Some(PartialForward {
         dest,
         dest2: cmd.next_dest2.map(|d| d.member),
@@ -79,10 +82,7 @@ pub fn handle_data_chunk(cmd: &Command) -> DataChunkPlan {
             let covers_all = cmd.offset == cmd.fwd_offset && cmd.length == cmd.fwd_length;
             DataChunkPlan {
                 fetch: Some((cmd.offset, cmd.length)),
-                drive_read: (!covers_all).then_some((
-                    cmd.fwd_offset,
-                    cmd.fwd_length - cmd.length,
-                )),
+                drive_read: (!covers_all).then_some((cmd.fwd_offset, cmd.fwd_length - cmd.length)),
                 drive_write: Some((cmd.offset, cmd.length)),
                 forward,
                 xor_needed: false,
@@ -315,7 +315,10 @@ mod tests {
         let fx = st.handle_host_parity(&parity_cmd(2, Subtype::Rmw, 0, 8192));
         assert_eq!(
             fx,
-            vec![ReduceEffect::PreloadOldParity { offset: 0, length: 8192 }]
+            vec![ReduceEffect::PreloadOldParity {
+                offset: 0,
+                length: 8192
+            }]
         );
         assert_eq!(
             st.handle_peer_partial(&peer(0, 8192)),

@@ -141,7 +141,11 @@ impl Tracer {
             .into_iter()
             .map(|class| {
                 let mut agg = ClassBreakdown::default();
-                for e in self.events.iter().filter(|e| StepClass::of(&e.kind) == class) {
+                for e in self
+                    .events
+                    .iter()
+                    .filter(|e| StepClass::of(&e.kind) == class)
+                {
                     agg.steps += 1;
                     agg.total_span += e.span();
                     agg.bytes += step_bytes(&e.kind);
@@ -225,8 +229,7 @@ pub fn critical_path(dag: &crate::dag::Dag, events: &[TraceEvent]) -> Option<Pat
         return None;
     }
     let issued: Vec<SimTime> = issued.into_iter().map(|t| t.expect("checked")).collect();
-    let completed: Vec<SimTime> =
-        completed.into_iter().map(|t| t.expect("checked")).collect();
+    let completed: Vec<SimTime> = completed.into_iter().map(|t| t.expect("checked")).collect();
 
     // Start from the op's last finisher and walk gating dependencies back.
     let mut cur = (0..n).max_by_key(|&i| completed[i])?;
@@ -304,7 +307,10 @@ mod tests {
             }),
             StepClass::Drive
         );
-        assert_eq!(StepClass::of(&StepKind::PerIo { node: NodeId(0) }), StepClass::Cpu);
+        assert_eq!(
+            StepClass::of(&StepKind::PerIo { node: NodeId(0) }),
+            StepClass::Cpu
+        );
         assert_eq!(StepClass::of(&StepKind::Join), StepClass::Control);
     }
 
@@ -338,11 +344,19 @@ mod tests {
             30,
         ));
         let bd = t.breakdown();
-        let net = bd.iter().find(|(c, _)| *c == StepClass::Network).expect("net").1;
+        let net = bd
+            .iter()
+            .find(|(c, _)| *c == StepClass::Network)
+            .expect("net")
+            .1;
         assert_eq!(net.steps, 2);
         assert_eq!(net.bytes, 150);
         assert_eq!(net.total_span, SimTime::from_micros(14));
-        let drive = bd.iter().find(|(c, _)| *c == StepClass::Drive).expect("drv").1;
+        let drive = bd
+            .iter()
+            .find(|(c, _)| *c == StepClass::Drive)
+            .expect("drv")
+            .1;
         assert_eq!(drive.steps, 1);
         assert!(t.summary().contains("network"));
     }

@@ -174,7 +174,10 @@ fn raid6_survives_double_failure() {
 
     array.submit(&mut eng, UserIo::read(0, stripe_bytes));
     eng.run(&mut array);
-    let res = array.drain_completions().pop().expect("double-degraded read");
+    let res = array
+        .drain_completions()
+        .pop()
+        .expect("double-degraded read");
     assert!(res.is_ok());
     assert_eq!(res.data.as_deref(), Some(&data[..]));
 }
@@ -224,7 +227,11 @@ fn persistent_errors_mark_member_faulty() {
     array.submit(&mut eng, UserIo::write(0, 8 * KIB));
     eng.run(&mut array);
     let res = array.drain_completions().pop().expect("write");
-    assert!(res.is_ok(), "write completes after fault isolation: {:?}", res.error);
+    assert!(
+        res.is_ok(),
+        "write completes after fault isolation: {:?}",
+        res.error
+    );
     assert!(array.is_degraded(), "member 0 marked faulty");
     assert_eq!(array.faulty_members(), vec![0]);
 }
@@ -280,8 +287,8 @@ fn draid_degraded_read_host_traffic_is_single_copy() {
         for s in 0..16u64 {
             // Read exactly the chunk that lives on the dead member.
             let stripe_bytes = array.layout().stripe_data_bytes();
-            let k = (0..array.layout().data_chunks())
-                .find(|&k| array.layout().data_member(s, k) == 0);
+            let k =
+                (0..array.layout().data_chunks()).find(|&k| array.layout().data_member(s, k) == 0);
             if let Some(k) = k {
                 let off = s * stripe_bytes + k as u64 * 16 * KIB;
                 array.submit(&mut eng, UserIo::read(off, 16 * KIB));
@@ -289,7 +296,10 @@ fn draid_degraded_read_host_traffic_is_single_copy() {
         }
         eng.run(&mut array);
         assert!(array.drain_completions().iter().all(|r| r.is_ok()));
-        array.cluster.fabric().bytes_received(array.cluster.host_node())
+        array
+            .cluster
+            .fabric()
+            .bytes_received(array.cluster.host_node())
     };
     let draid_in = run(SystemKind::Draid);
     let spdk_in = run(SystemKind::SpdkRaid);
@@ -304,7 +314,10 @@ fn write_modes_selected_by_size() {
     let (array, _) = make(SystemKind::Draid, RaidLevel::Raid5);
     let l = array.layout();
     // width 5, chunk 16 KiB: 4 data chunks, stripe 64 KiB.
-    assert_eq!(l.write_mode(&l.map(0, 8 * KIB)[0]), WriteMode::ReadModifyWrite);
+    assert_eq!(
+        l.write_mode(&l.map(0, 8 * KIB)[0]),
+        WriteMode::ReadModifyWrite
+    );
     assert_eq!(
         l.write_mode(&l.map(0, 48 * KIB)[0]),
         WriteMode::ReconstructWrite
@@ -366,7 +379,11 @@ fn tracing_captures_step_timelines() {
     // A dRAID RMW touches all three resource classes.
     let bd = trace.breakdown();
     for class in [StepClass::Network, StepClass::Drive, StepClass::Cpu] {
-        let agg = bd.iter().find(|(c, _)| *c == class).expect("class present").1;
+        let agg = bd
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("class present")
+            .1;
         assert!(agg.steps > 0, "{class:?} missing from trace");
     }
     // All events belong to the single submitted I/O.

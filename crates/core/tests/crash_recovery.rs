@@ -54,7 +54,10 @@ fn crash_resync_repairs_torn_parity() {
     // Populate four stripes.
     let mut payload = vec![0u8; (4 * stripe_bytes) as usize];
     rng.fill_bytes(&mut payload);
-    array.submit(&mut eng, UserIo::write_bytes(0, Bytes::from(payload.clone())));
+    array.submit(
+        &mut eng,
+        UserIo::write_bytes(0, Bytes::from(payload.clone())),
+    );
     eng.run(&mut array);
     assert!(array.drain_completions().iter().all(|r| r.is_ok()));
 
@@ -71,9 +74,16 @@ fn crash_resync_repairs_torn_parity() {
     array.drain_completions();
 
     eng.run(&mut array);
-    assert_eq!(array.write_intent().dirty_count(), 0, "resync cleared intents");
+    assert_eq!(
+        array.write_intent().dirty_count(),
+        0,
+        "resync cleared intents"
+    );
     let store = array.store().expect("full mode");
-    assert!(store.verify_all().is_empty(), "parity consistent after resync");
+    assert!(
+        store.verify_all().is_empty(),
+        "parity consistent after resync"
+    );
 
     // Stripes 0 and 3 were untouched by the crash and still hold their data.
     array.submit(&mut eng, UserIo::read(0, stripe_bytes));
@@ -102,7 +112,10 @@ fn resync_fixes_injected_corruption() {
 
     // Tear stripe 0's parity and leave its intent dirty (as a crash would).
     let p_member = array.layout().p_member(0);
-    array.store_mut().expect("store").corrupt_chunk(0, p_member, 123);
+    array
+        .store_mut()
+        .expect("store")
+        .corrupt_chunk(0, p_member, 123);
     assert!(!array.store().expect("store").verify_all().is_empty());
 
     // Simulate the crash having happened during a write to stripe 0.

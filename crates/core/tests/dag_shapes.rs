@@ -72,7 +72,10 @@ fn draid_rmw_host_sends_only_new_data() {
         sent < 128 * KIB + 4 * KIB,
         "host egress {sent} should be ~payload"
     );
-    assert!(recv < 4 * KIB, "host ingress {recv} should be callbacks only");
+    assert!(
+        recv < 4 * KIB,
+        "host ingress {recv} should be callbacks only"
+    );
     // Exactly one peer transfer of the partial parity to the P bdev.
     let p_node = fx.nodes[fx.layout.p_member(0)];
     let peer_bytes = dag.bytes_received_by(p_node);
@@ -274,8 +277,10 @@ fn pipeline_ablation_serializes_and_drops_bdev_callbacks() {
     let serial = build_dag(&fx_serial.ctx(&none, None), purpose, io);
     // Pipelined: data bdev callback + parity callback. Serial: parity only.
     let cbs = |dag: &draid_core::Dag| {
-        dag.count_steps(|k| matches!(k, StepKind::Transfer { to, bytes, .. }
-            if *to == HOST && *bytes == fx_pipe.cfg.callback_bytes))
+        dag.count_steps(|k| {
+            matches!(k, StepKind::Transfer { to, bytes, .. }
+            if *to == HOST && *bytes == fx_pipe.cfg.callback_bytes)
+        })
     };
     assert_eq!(cbs(&piped), 2);
     assert_eq!(cbs(&serial), 1);

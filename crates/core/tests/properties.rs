@@ -1,60 +1,66 @@
-//! Property-based tests of the core's pure logic: stripe geometry, write-mode
-//! selection, protocol encoding, and the reducer optimizer.
+//! Randomized property tests of the core's pure logic: stripe geometry,
+//! write-mode selection, protocol encoding, and the reducer optimizer.
+//! Driven by the simulator's seeded [`DetRng`] (the environment has no
+//! crates.io access, so these are plain loops rather than `proptest`
+//! strategies — same invariants, reproducible cases).
 
 use draid_core::protocol::{Command, Dest, Opcode, Subtype};
 use draid_core::reducer::water_fill;
 use draid_core::{ArrayConfig, Layout, RaidLevel, SystemKind, WriteMode};
-use proptest::prelude::*;
+use draid_sim::DetRng;
 
-fn layout_strategy() -> impl Strategy<Value = Layout> {
-    (
-        prop_oneof![Just(RaidLevel::Raid5), Just(RaidLevel::Raid6)],
-        4usize..=18,
-        1u64..=16,
-    )
-        .prop_map(|(level, width, chunk_4k)| {
-            let mut cfg = ArrayConfig::paper_default(SystemKind::Draid);
-            cfg.level = level;
-            cfg.width = width;
-            cfg.chunk_size = chunk_4k * 4096;
-            Layout::new(&cfg)
-        })
+fn random_layout(rng: &mut DetRng) -> Layout {
+    let level = if rng.chance(0.5) {
+        RaidLevel::Raid5
+    } else {
+        RaidLevel::Raid6
+    };
+    let mut cfg = ArrayConfig::paper_default(SystemKind::Draid);
+    cfg.level = level;
+    cfg.width = 4 + rng.below(15) as usize;
+    cfg.chunk_size = (1 + rng.below(16)) * 4096;
+    Layout::new(&cfg)
 }
 
-proptest! {
-    #[test]
-    fn map_partitions_the_byte_range(
-        layout in layout_strategy(),
-        offset in 0u64..(1 << 30),
-        len in 1u64..(16 << 20),
-    ) {
+#[test]
+fn map_partitions_the_byte_range() {
+    let mut rng = DetRng::new(0xC0DE1);
+    for _ in 0..200 {
+        let layout = random_layout(&mut rng);
+        let offset = rng.below(1 << 30);
+        let len = 1 + rng.below((16 << 20) - 1);
         let ios = layout.map(offset, len);
         // Total bytes conserved.
         let total: u64 = ios.iter().map(|io| io.bytes()).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len);
         // Stripes strictly increasing; buffer offsets contiguous.
         let mut expected_buf = 0u64;
         for win in ios.windows(2) {
-            prop_assert!(win[0].stripe < win[1].stripe);
+            assert!(win[0].stripe < win[1].stripe);
         }
         for io in &ios {
-            prop_assert_eq!(io.buf_offset, expected_buf);
+            assert_eq!(io.buf_offset, expected_buf);
             expected_buf += io.bytes();
             // Segments ordered by data index, within chunk bounds, on the
             // member the layout assigns.
             for win in io.segments.windows(2) {
-                prop_assert!(win[0].data_index < win[1].data_index);
+                assert!(win[0].data_index < win[1].data_index);
             }
             for seg in &io.segments {
-                prop_assert!(seg.offset + seg.len <= layout.chunk_size());
-                prop_assert!(seg.len > 0);
-                prop_assert_eq!(seg.member, layout.data_member(io.stripe, seg.data_index));
+                assert!(seg.offset + seg.len <= layout.chunk_size());
+                assert!(seg.len > 0);
+                assert_eq!(seg.member, layout.data_member(io.stripe, seg.data_index));
             }
         }
     }
+}
 
-    #[test]
-    fn members_partition_every_stripe(layout in layout_strategy(), stripe in 0u64..10_000) {
+#[test]
+fn members_partition_every_stripe() {
+    let mut rng = DetRng::new(0xC0DE2);
+    for _ in 0..200 {
+        let layout = random_layout(&mut rng);
+        let stripe = rng.below(10_000);
         // P, Q and the data chunks together cover all members exactly once.
         let mut seen = vec![0u8; layout.width()];
         seen[layout.p_member(stripe)] += 1;
@@ -64,24 +70,24 @@ proptest! {
         for k in 0..layout.data_chunks() {
             seen[layout.data_member(stripe, k)] += 1;
         }
-        prop_assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
         // data_index_of inverts data_member and rejects parity members.
         for m in 0..layout.width() {
             match layout.data_index_of(stripe, m) {
-                Some(k) => prop_assert_eq!(layout.data_member(stripe, k), m),
-                None => prop_assert!(
-                    m == layout.p_member(stripe) || Some(m) == layout.q_member(stripe)
-                ),
+                Some(k) => assert_eq!(layout.data_member(stripe, k), m),
+                None => assert!(m == layout.p_member(stripe) || Some(m) == layout.q_member(stripe)),
             }
         }
     }
+}
 
-    #[test]
-    fn write_mode_minimizes_remote_reads(
-        layout in layout_strategy(),
-        offset in 0u64..(1 << 28),
-        len in 1u64..(8 << 20),
-    ) {
+#[test]
+fn write_mode_minimizes_remote_reads() {
+    let mut rng = DetRng::new(0xC0DE3);
+    for _ in 0..200 {
+        let layout = random_layout(&mut rng);
+        let offset = rng.below(1 << 28);
+        let len = 1 + rng.below((8 << 20) - 1);
         for io in layout.map(offset, len) {
             let d = layout.data_chunks();
             let p = layout.level().parity_count();
@@ -94,28 +100,18 @@ proptest! {
             let rmw_reads = io.segments.len() + p;
             let rcw_reads = d - full;
             match mode {
-                WriteMode::FullStripe => prop_assert_eq!(full, d),
-                WriteMode::ReadModifyWrite => prop_assert!(rmw_reads < rcw_reads),
-                WriteMode::ReconstructWrite => prop_assert!(rcw_reads <= rmw_reads),
+                WriteMode::FullStripe => assert_eq!(full, d),
+                WriteMode::ReadModifyWrite => assert!(rmw_reads < rcw_reads),
+                WriteMode::ReconstructWrite => assert!(rcw_reads <= rmw_reads),
             }
         }
     }
+}
 
-    #[test]
-    fn protocol_roundtrip(
-        id: u64,
-        op_sel in 0usize..6,
-        sub_sel in 0usize..6,
-        nsid: u32,
-        offset: u64,
-        length: u64,
-        fwd_offset: u64,
-        fwd_length: u64,
-        dest in prop::option::of(0u32..u32::MAX),
-        wait_num: u32,
-        dest2 in prop::option::of(0u32..64),
-        data_idx: u32,
-    ) {
+#[test]
+fn protocol_roundtrip() {
+    let mut rng = DetRng::new(0xC0DE4);
+    for _ in 0..500 {
         let opcode = [
             Opcode::Read,
             Opcode::Write,
@@ -123,7 +119,7 @@ proptest! {
             Opcode::Parity,
             Opcode::Reconstruction,
             Opcode::Peer,
-        ][op_sel];
+        ][rng.below(6) as usize];
         let subtype = [
             None,
             Some(Subtype::Rmw),
@@ -131,36 +127,45 @@ proptest! {
             Some(Subtype::RwRead),
             Some(Subtype::AlsoRead),
             Some(Subtype::NoRead),
-        ][sub_sel];
+        ][rng.below(6) as usize];
+        let dest = rng.chance(0.5).then(|| rng.below(u32::MAX as u64) as u32);
+        let dest2 = rng.chance(0.5).then(|| rng.below(64) as u32);
         let cmd = Command {
-            id,
+            id: rng.next_u64(),
             opcode,
-            nsid,
+            nsid: rng.next_u64() as u32,
             subtype,
-            offset,
-            length,
-            fwd_offset,
-            fwd_length,
+            offset: rng.next_u64(),
+            length: rng.next_u64(),
+            fwd_offset: rng.next_u64(),
+            fwd_length: rng.next_u64(),
             next_dest: dest.map(|member| Dest { member }),
-            wait_num,
+            wait_num: rng.next_u64() as u32,
             next_dest2: dest2.map(|member| Dest { member }),
-            data_idx: if dest2.is_some() { data_idx } else { 0 },
+            data_idx: if dest2.is_some() {
+                rng.next_u64() as u32
+            } else {
+                0
+            },
         };
         let encoded = cmd.encode();
-        prop_assert_eq!(encoded.len() as u64, cmd.wire_size());
-        prop_assert_eq!(Command::decode(&encoded).expect("roundtrip"), cmd);
+        assert_eq!(encoded.len() as u64, cmd.wire_size());
+        assert_eq!(Command::decode(&encoded).expect("roundtrip"), cmd);
     }
+}
 
-    #[test]
-    fn water_fill_is_a_distribution_and_maximin(
-        bandwidths in prop::collection::vec(0.0f64..1e6, 1..20),
-        load in 0.0f64..1e7,
-    ) {
+#[test]
+fn water_fill_is_a_distribution_and_maximin() {
+    let mut rng = DetRng::new(0xC0DE5);
+    for _ in 0..300 {
+        let n = 1 + rng.below(19) as usize;
+        let bandwidths: Vec<f64> = (0..n).map(|_| rng.unit_f64() * 1e6).collect();
+        let load = rng.unit_f64() * 1e7;
         let p = water_fill(&bandwidths, load);
-        prop_assert_eq!(p.len(), bandwidths.len());
+        assert_eq!(p.len(), bandwidths.len());
         let sum: f64 = p.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
-        prop_assert!(p.iter().all(|&x| (-1e-9..=1.0 + 1e-6).contains(&x)));
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert!(p.iter().all(|&x| (-1e-9..=1.0 + 1e-6).contains(&x)));
         if load > 0.0 {
             // Maximin optimality: no probability mass can move between two
             // members to raise the minimum headroom (water level property:
@@ -179,7 +184,7 @@ proptest! {
                 .fold(f64::MAX, f64::min);
             for (&h, &pi) in headroom.iter().zip(&p) {
                 if pi <= 1e-12 && active_min != f64::MAX {
-                    prop_assert!(
+                    assert!(
                         h <= active_min + 1e-3,
                         "inactive member above water level: {h} vs {active_min}"
                     );

@@ -103,8 +103,8 @@ fn rebuild_keeps_host_nic_idle() {
 
     let host = array.cluster.host_node();
     let rebuilt_bytes = stripes * array.layout().chunk_size();
-    let host_traffic = array.cluster.fabric().bytes_sent(host)
-        + array.cluster.fabric().bytes_received(host);
+    let host_traffic =
+        array.cluster.fabric().bytes_sent(host) + array.cluster.fabric().bytes_received(host);
     assert!(
         host_traffic < rebuilt_bytes / 4,
         "host moved {host_traffic} bytes for a {rebuilt_bytes}-byte rebuild"

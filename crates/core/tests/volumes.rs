@@ -50,13 +50,21 @@ fn volumes_are_stripe_aligned_and_disjoint() {
         .expect("in bounds");
     eng.run(&mut array);
     let res = array.drain_completions().pop().expect("read");
-    assert_eq!(res.data.as_deref(), Some(&da[..]), "tenant A sees its bytes");
+    assert_eq!(
+        res.data.as_deref(),
+        Some(&da[..]),
+        "tenant A sees its bytes"
+    );
     array
         .submit_to_volume(&mut eng, b, UserIo::read(0, 8 * KIB))
         .expect("in bounds");
     eng.run(&mut array);
     let res = array.drain_completions().pop().expect("read");
-    assert_eq!(res.data.as_deref(), Some(&db[..]), "tenant B sees its bytes");
+    assert_eq!(
+        res.data.as_deref(),
+        Some(&db[..]),
+        "tenant B sees its bytes"
+    );
 }
 
 #[test]
@@ -129,7 +137,10 @@ fn token_bucket_budget_shapes_a_noisy_tenant() {
         noisy_mean.as_nanos() > 4 * quiet_mean.max(SimTime::from_micros(1)).as_nanos(),
         "noisy {noisy_mean} vs quiet {quiet_mean}"
     );
-    assert!(quiet_mean < SimTime::from_millis(5), "quiet tenant unharmed");
+    assert!(
+        quiet_mean < SimTime::from_millis(5),
+        "quiet tenant unharmed"
+    );
 }
 
 #[test]

@@ -188,7 +188,11 @@ mod tests {
     fn inverse_roundtrip() {
         // A Vandermonde matrix over distinct points is invertible.
         let rows: Vec<Vec<u8>> = (0..4u8)
-            .map(|r| (0..4).map(|c| gf256::mul(1, gf256::exp((r as usize) * c))).collect())
+            .map(|r| {
+                (0..4)
+                    .map(|c| gf256::mul(1, gf256::exp((r as usize) * c)))
+                    .collect()
+            })
             .collect();
         let m = Matrix::from_rows(&rows);
         let inv = m.inverse().expect("vandermonde is invertible");

@@ -28,7 +28,10 @@ impl Raid6 {
     /// than 255 data chunks (the field's limit).
     pub fn encode(data: &[&[u8]]) -> (Vec<u8>, Vec<u8>) {
         assert!(!data.is_empty(), "stripe needs at least one data chunk");
-        assert!(data.len() <= 255, "GF(256) supports at most 255 data chunks");
+        assert!(
+            data.len() <= 255,
+            "GF(256) supports at most 255 data chunks"
+        );
         let p = xor_of(data);
         let mut q = vec![0u8; data[0].len()];
         for (i, d) in data.iter().enumerate() {
@@ -83,11 +86,7 @@ impl Raid6 {
     ///
     /// `survivors` carries `(index, chunk)` pairs for every surviving data
     /// chunk.
-    pub fn recover_data_with_q(
-        lost: usize,
-        survivors: &[(usize, &[u8])],
-        q: &[u8],
-    ) -> Vec<u8> {
+    pub fn recover_data_with_q(lost: usize, survivors: &[(usize, &[u8])], q: &[u8]) -> Vec<u8> {
         let mut acc = q.to_vec();
         for &(i, d) in survivors {
             debug_assert_ne!(i, lost);

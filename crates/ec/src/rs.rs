@@ -266,7 +266,11 @@ mod tests {
             }
             rs.reconstruct(&mut shards).expect("within tolerance");
             for (i, (shard, original)) in shards.iter().zip(&full).enumerate() {
-                assert_eq!(shard.as_ref().expect("restored"), original, "i={i} mask={mask:b}");
+                assert_eq!(
+                    shard.as_ref().expect("restored"),
+                    original,
+                    "i={i} mask={mask:b}"
+                );
             }
         }
     }
@@ -277,12 +281,8 @@ mod tests {
         let data = sample_stripe(3, 8);
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
         let parity = rs.encode(&refs);
-        let mut shards: Vec<Option<Vec<u8>>> = data
-            .iter()
-            .cloned()
-            .chain(parity)
-            .map(Some)
-            .collect();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
         shards[0] = None;
         shards[1] = None;
         shards[3] = None;
@@ -301,12 +301,8 @@ mod tests {
         let data = sample_stripe(2, 4);
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
         let parity = rs.encode(&refs);
-        let mut shards: Vec<Option<Vec<u8>>> = data
-            .iter()
-            .cloned()
-            .chain(parity)
-            .map(Some)
-            .collect();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
         let before = shards.clone();
         rs.reconstruct(&mut shards).expect("nothing to do");
         assert_eq!(shards, before);

@@ -1,41 +1,74 @@
-//! Property-based tests for the erasure-coding substrate.
+//! Randomized property tests for the erasure-coding substrate, driven by a
+//! seeded deterministic generator (the environment has no crates.io access,
+//! so these are plain loops rather than `proptest` strategies — same
+//! invariants, reproducible cases).
 
 use draid_ec::{gf256, xor_into, Raid5, Raid6, ReedSolomon};
-use proptest::collection::vec;
-use proptest::prelude::*;
 
-fn stripe_strategy(max_width: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
-    (2..=max_width, 1..=max_len).prop_flat_map(|(w, l)| vec(vec(any::<u8>(), l..=l), w..=w))
+/// Minimal deterministic generator (splitmix64).
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn byte(&mut self) -> u8 {
+        self.next() as u8
+    }
+
+    fn chunk(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.byte()).collect()
+    }
+
+    /// A random stripe: `2..=max_width` chunks of a common random length.
+    fn stripe(&mut self, max_width: usize, max_len: usize) -> Vec<Vec<u8>> {
+        let w = 2 + self.below((max_width - 1) as u64) as usize;
+        let l = 1 + self.below(max_len as u64) as usize;
+        (0..w).map(|_| self.chunk(l)).collect()
+    }
 }
 
-proptest! {
-    #[test]
-    fn gf_mul_commutative_associative(a: u8, b: u8, c: u8) {
-        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
-        prop_assert_eq!(
+#[test]
+fn gf_mul_commutative_associative_distributive() {
+    let mut rng = TestRng(0xEC01);
+    for _ in 0..2000 {
+        let (a, b, c) = (rng.byte(), rng.byte(), rng.byte());
+        assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        assert_eq!(
             gf256::mul(a, gf256::mul(b, c)),
             gf256::mul(gf256::mul(a, b), c)
         );
+        assert_eq!(gf256::mul(a, b ^ c), gf256::mul(a, b) ^ gf256::mul(a, c));
     }
+}
 
-    #[test]
-    fn gf_distributive(a: u8, b: u8, c: u8) {
-        prop_assert_eq!(
-            gf256::mul(a, b ^ c),
-            gf256::mul(a, b) ^ gf256::mul(a, c)
-        );
+#[test]
+fn gf_div_inverts_mul() {
+    let mut rng = TestRng(0xEC02);
+    for _ in 0..2000 {
+        let a = rng.byte();
+        let b = 1 + rng.below(255) as u8;
+        assert_eq!(gf256::div(gf256::mul(a, b), b), a);
     }
+}
 
-    #[test]
-    fn gf_div_inverts_mul(a: u8, b in 1u8..) {
-        prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
-    }
-
-    #[test]
-    fn raid5_reconstructs_any_chunk(data in stripe_strategy(10, 64), lost_sel: prop::sample::Index) {
+#[test]
+fn raid5_reconstructs_any_chunk() {
+    let mut rng = TestRng(0xEC03);
+    for _ in 0..200 {
+        let data = rng.stripe(10, 64);
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
         let parity = Raid5::encode(&refs);
-        let lost = lost_sel.index(data.len());
+        let lost = rng.below(data.len() as u64) as usize;
         let mut survivors: Vec<&[u8]> = data
             .iter()
             .enumerate()
@@ -43,35 +76,40 @@ proptest! {
             .map(|(_, d)| &d[..])
             .collect();
         survivors.push(&parity);
-        prop_assert_eq!(Raid5::reconstruct(&survivors), data[lost].clone());
+        assert_eq!(Raid5::reconstruct(&survivors), data[lost]);
     }
+}
 
-    #[test]
-    fn raid5_rmw_matches_full_encode(
-        mut data in stripe_strategy(8, 32),
-        new_byte: u8,
-        target_sel: prop::sample::Index,
-    ) {
+#[test]
+fn raid5_rmw_matches_full_encode() {
+    let mut rng = TestRng(0xEC04);
+    for _ in 0..200 {
+        let mut data = rng.stripe(8, 32);
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
         let parity = Raid5::encode(&refs);
-        let target = target_sel.index(data.len());
-        let new_chunk = vec![new_byte; data[0].len()];
+        let target = rng.below(data.len() as u64) as usize;
+        let new_chunk = vec![rng.byte(); data[0].len()];
         let updated = Raid5::update(&data[target], &new_chunk, &parity);
         data[target] = new_chunk;
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
-        prop_assert_eq!(updated, Raid5::encode(&refs));
+        assert_eq!(updated, Raid5::encode(&refs));
     }
+}
 
-    #[test]
-    fn raid6_recovers_any_two_data(data in stripe_strategy(9, 32), a: prop::sample::Index, b: prop::sample::Index) {
+#[test]
+fn raid6_recovers_any_two_data() {
+    let mut rng = TestRng(0xEC05);
+    for _ in 0..200 {
+        let data = rng.stripe(9, 32);
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
         let (p, q) = Raid6::encode(&refs);
         let w = data.len();
-        let (mut x, mut y) = (a.index(w), b.index(w));
-        prop_assume!(x != y);
-        if x > y {
-            std::mem::swap(&mut x, &mut y);
+        let x = rng.below(w as u64) as usize;
+        let mut y = rng.below(w as u64) as usize;
+        if x == y {
+            y = (y + 1) % w;
         }
+        let (x, y) = (x.min(y), x.max(y));
         let survivors: Vec<(usize, &[u8])> = data
             .iter()
             .enumerate()
@@ -79,23 +117,23 @@ proptest! {
             .map(|(i, d)| (i, &d[..]))
             .collect();
         let (dx, dy) = Raid6::recover_two_data(w, x, y, &survivors, &p, &q);
-        prop_assert_eq!(dx, data[x].clone());
-        prop_assert_eq!(dy, data[y].clone());
+        assert_eq!(dx, data[x]);
+        assert_eq!(dy, data[y]);
     }
+}
 
-    #[test]
-    fn raid6_partial_deltas_any_arrival_order(
-        mut data in stripe_strategy(6, 24),
-        new_a: u8,
-        new_b: u8,
-        swap: bool,
-    ) {
-        // dRAID §5.2: partial parities may arrive and reduce in any order.
+#[test]
+fn raid6_partial_deltas_any_arrival_order() {
+    // dRAID §5.2: partial parities may arrive and reduce in any order.
+    let mut rng = TestRng(0xEC06);
+    for round in 0..200 {
+        let mut data = rng.stripe(6, 24);
+        let swap = round % 2 == 0;
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
         let (p, q) = Raid6::encode(&refs);
         let len = data[0].len();
-        let ca = vec![new_a; len];
-        let cb = vec![new_b; len];
+        let ca = vec![rng.byte(); len];
+        let cb = vec![rng.byte(); len];
         let ia = 0;
         let ib = data.len() - 1;
 
@@ -121,16 +159,17 @@ proptest! {
         data[ib] = cb;
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
         let (ep, eq) = Raid6::encode(&refs);
-        prop_assert_eq!(np, ep);
-        prop_assert_eq!(nq, eq);
+        assert_eq!(np, ep);
+        assert_eq!(nq, eq);
     }
+}
 
-    #[test]
-    fn reed_solomon_roundtrip(
-        data in stripe_strategy(6, 16),
-        parity_count in 1usize..4,
-        erasure_seed: u64,
-    ) {
+#[test]
+fn reed_solomon_roundtrip() {
+    let mut rng = TestRng(0xEC07);
+    for _ in 0..100 {
+        let data = rng.stripe(6, 16);
+        let parity_count = 1 + rng.below(3) as usize;
         let k = data.len();
         let rs = ReedSolomon::new(k, parity_count);
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
@@ -138,13 +177,11 @@ proptest! {
         let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
         let n = k + parity_count;
 
-        // Deterministically pick up to `parity_count` distinct erasures.
+        // Pick up to `parity_count` distinct erasures.
         let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
-        let mut seed = erasure_seed;
         let mut erased = 0usize;
         while erased < parity_count {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let idx = (seed >> 33) as usize % n;
+            let idx = rng.below(n as u64) as usize;
             if shards[idx].is_some() {
                 shards[idx] = None;
                 erased += 1;
@@ -152,7 +189,7 @@ proptest! {
         }
         rs.reconstruct(&mut shards).expect("within tolerance");
         for (shard, original) in shards.iter().zip(&full) {
-            prop_assert_eq!(shard.as_ref().expect("restored"), original);
+            assert_eq!(shard.as_ref().expect("restored"), original);
         }
     }
 }

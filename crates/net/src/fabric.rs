@@ -5,8 +5,9 @@ use draid_sim::{RateResource, Service, SimTime};
 use crate::NicSpec;
 
 /// Identifies a node (server) in the fabric.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub usize);
 
 /// Identifies a NIC in the fabric (global index).
@@ -17,12 +18,74 @@ pub struct NicId(pub usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnId(pub usize);
 
+/// Direction of traffic through a NIC, from the NIC owner's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkDir {
+    /// Traffic leaving the node.
+    Egress,
+    /// Traffic arriving at the node.
+    Ingress,
+}
+
+/// Error returned by [`Fabric::try_transfer`] when an endpoint's link is
+/// down: the transfer never happens and the sender sees a failed verb, which
+/// upper layers surface through their timeout/retry path (§5.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkError {
+    /// The node whose link refused the transfer.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link down at node {}", self.node.0)
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Fault state of one NIC direction: hard-down intervals (administrative or
+/// scheduled flap windows) and degraded-rate windows (congestion, a flaky
+/// transceiver, a mis-negotiated link speed).
+#[derive(Debug, Default)]
+struct LinkState {
+    /// Administratively down until further notice.
+    admin_down: bool,
+    /// Scheduled outage windows `[from, until)` — link-flap injection.
+    down_windows: Vec<(SimTime, SimTime)>,
+    /// Degraded-rate windows `[from, until, factor)`: the NIC serves at
+    /// `rate * factor` while the window is active.
+    degraded: Vec<(SimTime, SimTime, f64)>,
+}
+
+impl LinkState {
+    fn is_down(&self, now: SimTime) -> bool {
+        self.admin_down
+            || self
+                .down_windows
+                .iter()
+                .any(|&(from, until)| now >= from && now < until)
+    }
+
+    /// The smallest active degradation factor (degradations stack by taking
+    /// the worst), or 1.0 when the link is at full speed.
+    fn rate_factor(&self, now: SimTime) -> f64 {
+        self.degraded
+            .iter()
+            .filter(|&&(from, until, _)| now >= from && now < until)
+            .map(|&(_, _, f)| f)
+            .fold(1.0, f64::min)
+    }
+}
+
 #[derive(Debug)]
 struct Nic {
     spec: NicSpec,
     egress: RateResource,
     ingress: RateResource,
     connections: usize,
+    egress_link: LinkState,
+    ingress_link: LinkState,
 }
 
 #[derive(Debug)]
@@ -115,6 +178,8 @@ impl FabricBuilder {
                 egress: RateResource::new(spec.rate),
                 ingress: RateResource::new(spec.rate),
                 connections: 0,
+                egress_link: LinkState::default(),
+                ingress_link: LinkState::default(),
             });
         }
         self.nodes.push(Node {
@@ -214,22 +279,51 @@ impl Fabric {
     /// stream one propagation delay after the sender starts emitting, and
     /// each direction independently serializes at its own NIC rate, so the
     /// slower direction and any queueing on either side gate completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint's link is down — use
+    /// [`Fabric::try_transfer`] when fault injection is in play.
     pub fn transfer(&mut self, now: SimTime, conn: ConnId, bytes: u64) -> Service {
+        self.try_transfer(now, conn, bytes)
+            .unwrap_or_else(|e| panic!("transfer on a dead link: {e}"))
+    }
+
+    /// Fault-aware [`Fabric::transfer`]: fails fast when the sender's egress
+    /// link or the receiver's ingress link is down, and serves at the
+    /// degraded rate while a degradation window is active.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] naming the endpoint whose link refused the transfer.
+    pub fn try_transfer(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        bytes: u64,
+    ) -> Result<Service, LinkError> {
         let c = self.connections[conn.0];
+        if self.nics[c.from_nic].egress_link.is_down(now) {
+            return Err(LinkError { node: c.from_node });
+        }
+        if self.nics[c.to_nic].ingress_link.is_down(now) {
+            return Err(LinkError { node: c.to_node });
+        }
         let (eg_spec, in_spec) = (self.nics[c.from_nic].spec, self.nics[c.to_nic].spec);
-        let eg = self.nics[c.from_nic]
-            .egress
-            .serve_with_setup(now, bytes, eg_spec.per_message, eg_spec.rate);
+        let eg_rate = eg_spec
+            .rate
+            .scaled(self.nics[c.from_nic].egress_link.rate_factor(now));
+        let eg =
+            self.nics[c.from_nic]
+                .egress
+                .serve_with_setup(now, bytes, eg_spec.per_message, eg_rate);
         let mut arrive = eg.start + eg_spec.per_message + eg_spec.propagation;
         // Cross-rack traffic serializes through the source rack's uplink and
         // the destination rack's downlink (the oversubscription model). The
         // stream pipelines through every stage, so completion is gated by
         // the slowest stage's finish, not their sum.
         let mut stage_end = eg.end;
-        let (src_rack, dst_rack) = (
-            self.nodes[c.from_node.0].rack,
-            self.nodes[c.to_node.0].rack,
-        );
+        let (src_rack, dst_rack) = (self.nodes[c.from_node.0].rack, self.nodes[c.to_node.0].rack);
         if src_rack != dst_rack {
             if let Some(r) = src_rack {
                 let rack = &mut self.racks[r];
@@ -239,17 +333,102 @@ impl Fabric {
             }
             if let Some(r) = dst_rack {
                 let rack = &mut self.racks[r];
-                let svc = rack.down.serve_at_rate(arrive, bytes.max(1), rack.spec.rate);
+                let svc = rack
+                    .down
+                    .serve_at_rate(arrive, bytes.max(1), rack.spec.rate);
                 arrive = svc.start + rack.spec.propagation;
                 stage_end = stage_end.max(svc.end);
             }
         }
+        let in_rate = in_spec
+            .rate
+            .scaled(self.nics[c.to_nic].ingress_link.rate_factor(arrive));
         let ing = self.nics[c.to_nic]
             .ingress
-            .serve_at_rate(arrive, bytes.max(1), in_spec.rate);
-        Service {
+            .serve_at_rate(arrive, bytes.max(1), in_rate);
+        Ok(Service {
             start: eg.start,
             end: ing.end.max(stage_end),
+        })
+    }
+
+    /// Takes every NIC of `node` administratively down, both directions:
+    /// transfers touching it fail until [`Fabric::set_link_up`].
+    pub fn set_link_down(&mut self, node: NodeId) {
+        self.for_each_link(node, |l| l.admin_down = true);
+    }
+
+    /// Restores a node's links after [`Fabric::set_link_down`]. Scheduled
+    /// flap windows are unaffected.
+    pub fn set_link_up(&mut self, node: NodeId) {
+        self.for_each_link(node, |l| l.admin_down = false);
+    }
+
+    /// Whether any of a node's links refuses traffic in `dir` at `now`.
+    pub fn link_down(&self, node: NodeId, dir: LinkDir, now: SimTime) -> bool {
+        self.nodes[node.0].nics.iter().any(|&n| {
+            let nic = &self.nics[n];
+            match dir {
+                LinkDir::Egress => nic.egress_link.is_down(now),
+                LinkDir::Ingress => nic.ingress_link.is_down(now),
+            }
+        })
+    }
+
+    /// Schedules an outage window `[from, until)` on every NIC of `node`,
+    /// both directions — the building block of link-flap injection.
+    pub fn schedule_link_down(&mut self, node: NodeId, from: SimTime, until: SimTime) {
+        self.for_each_link(node, |l| l.down_windows.push((from, until)));
+    }
+
+    /// Schedules `cycles` down/up flaps on a node's links: down for
+    /// `down_for` starting at `start`, up for `up_for`, repeating.
+    pub fn flap_link(
+        &mut self,
+        node: NodeId,
+        start: SimTime,
+        down_for: SimTime,
+        up_for: SimTime,
+        cycles: u32,
+    ) {
+        let mut t = start;
+        for _ in 0..cycles {
+            self.schedule_link_down(node, t, t + down_for);
+            t = t + down_for + up_for;
+        }
+    }
+
+    /// Degrades one direction of a node's links to `factor` of nominal rate
+    /// during `[from, until)` — gray-failure injection (fail-slow NIC,
+    /// congested uplink, mis-negotiated speed). Overlapping windows take the
+    /// worst factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn degrade_link(
+        &mut self,
+        node: NodeId,
+        dir: LinkDir,
+        factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        for &n in &self.nodes[node.0].nics {
+            let nic = &mut self.nics[n];
+            let link = match dir {
+                LinkDir::Egress => &mut nic.egress_link,
+                LinkDir::Ingress => &mut nic.ingress_link,
+            };
+            link.degraded.push((from, until, factor));
+        }
+    }
+
+    fn for_each_link(&mut self, node: NodeId, mut f: impl FnMut(&mut LinkState)) {
+        for &n in &self.nodes[node.0].nics {
+            f(&mut self.nics[n].egress_link);
+            f(&mut self.nics[n].ingress_link);
         }
     }
 
@@ -332,7 +511,7 @@ mod tests {
     fn uncontended_transfer_latency() {
         let (mut f, conn) = two_node_fabric(8.0); // 1 GB/s
         let svc = f.transfer(SimTime::ZERO, conn, 1_000_000); // 1 MB -> 1 ms
-        // per_message (0.5us) + propagation (2us) + serialization (1ms)
+                                                              // per_message (0.5us) + propagation (2us) + serialization (1ms)
         assert_eq!(svc.end, SimTime::from_nanos(1_000_000 + 2_500));
     }
 
@@ -395,6 +574,90 @@ mod tests {
     }
 
     #[test]
+    fn admin_down_link_refuses_until_restored() {
+        let (mut f, conn) = two_node_fabric(8.0);
+        f.set_link_down(NodeId(0));
+        let err = f.try_transfer(SimTime::ZERO, conn, 4096).unwrap_err();
+        assert_eq!(err.node, NodeId(0), "blames the dead sender");
+        assert!(f.link_down(NodeId(0), LinkDir::Egress, SimTime::ZERO));
+        f.set_link_up(NodeId(0));
+        assert!(f.try_transfer(SimTime::ZERO, conn, 4096).is_ok());
+        // A dead receiver is blamed too.
+        f.set_link_down(NodeId(1));
+        let err = f.try_transfer(SimTime::ZERO, conn, 4096).unwrap_err();
+        assert_eq!(err.node, NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead link")]
+    fn plain_transfer_panics_on_dead_link() {
+        let (mut f, conn) = two_node_fabric(8.0);
+        f.set_link_down(NodeId(1));
+        f.transfer(SimTime::ZERO, conn, 4096);
+    }
+
+    #[test]
+    fn flap_windows_alternate_down_and_up() {
+        let (mut f, conn) = two_node_fabric(8.0);
+        let ms = SimTime::from_millis;
+        f.flap_link(NodeId(0), ms(1), ms(1), ms(2), 3);
+        // Down windows: [1,2), [4,5), [7,8) ms.
+        for (t, down) in [
+            (0, false),
+            (1, true),
+            (2, false),
+            (4, true),
+            (6, false),
+            (7, true),
+            (8, false),
+            (20, false),
+        ] {
+            assert_eq!(
+                f.link_down(NodeId(0), LinkDir::Egress, ms(t)),
+                down,
+                "at {t} ms"
+            );
+            assert_eq!(f.try_transfer(ms(t), conn, 1).is_err(), down, "at {t} ms");
+        }
+    }
+
+    #[test]
+    fn degraded_window_halves_throughput_then_recovers() {
+        let (mut f, conn) = two_node_fabric(8.0); // 1 GB/s
+        f.degrade_link(
+            NodeId(0),
+            LinkDir::Egress,
+            0.5,
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+        // 1 MB at the degraded 0.5 GB/s: ~2 ms instead of ~1 ms.
+        let svc = f.try_transfer(SimTime::ZERO, conn, 1_000_000).unwrap();
+        assert!(svc.end >= SimTime::from_millis(2), "degraded: {}", svc.end);
+        // Past the window the link is back to full rate.
+        let svc = f
+            .try_transfer(SimTime::from_secs(2), conn, 1_000_000)
+            .unwrap();
+        let took = svc.end.saturating_sub(svc.start);
+        assert!(took < SimTime::from_nanos(1_100_000), "recovered: {took}");
+    }
+
+    #[test]
+    fn overlapping_degradations_take_the_worst_factor() {
+        let (mut f, conn) = two_node_fabric(8.0);
+        let sec = SimTime::from_secs;
+        f.degrade_link(NodeId(0), LinkDir::Egress, 0.5, sec(0), sec(10));
+        f.degrade_link(NodeId(0), LinkDir::Egress, 0.25, sec(0), sec(10));
+        // 1 MB at 0.25 GB/s: ~4 ms.
+        let svc = f.try_transfer(SimTime::ZERO, conn, 1_000_000).unwrap();
+        assert!(
+            svc.end >= SimTime::from_millis(4),
+            "worst factor: {}",
+            svc.end
+        );
+    }
+
+    #[test]
     fn connections_balance_across_nics() {
         let mut b = FabricBuilder::new();
         let multi = b.add_node("multi", vec![NicSpec::cx5_100g(), NicSpec::cx5_25g()]);
@@ -430,10 +693,18 @@ mod tests {
         let local = f.connect(peer, z);
         // 1 MB rack-local: only NIC speed (~1 ms), no uplink involved.
         let svc = f.transfer(SimTime::ZERO, local, 1_000_000);
-        assert!(svc.end < SimTime::from_millis(2), "local stays fast: {}", svc.end);
+        assert!(
+            svc.end < SimTime::from_millis(2),
+            "local stays fast: {}",
+            svc.end
+        );
         // 1 MB cross-rack: gated by the 1 Gbps uplink (~8 ms), not the NICs.
         let svc = f.transfer(SimTime::ZERO, cross, 1_000_000);
-        assert!(svc.end >= SimTime::from_millis(8), "uplink-bound: {}", svc.end);
+        assert!(
+            svc.end >= SimTime::from_millis(8),
+            "uplink-bound: {}",
+            svc.end
+        );
     }
 
     #[test]

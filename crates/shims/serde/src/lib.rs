@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace annotates config/spec types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` but never serializes
+//! them at runtime (no `serde_json`/`bincode` in the tree). This stub keeps
+//! those annotations compiling without network access to crates.io: the
+//! derive macros expand to nothing and the traits below exist only so
+//! `T: serde::Serialize` bounds (should any appear) stay nameable.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

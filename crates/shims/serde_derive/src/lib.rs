@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The repository uses `#[derive(serde::Serialize, serde::Deserialize)]` as
+//! forward-looking annotations only — nothing serializes at runtime — so the
+//! derives expand to nothing. This keeps the workspace building in
+//! environments with no crates.io access.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

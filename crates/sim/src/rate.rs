@@ -14,8 +14,9 @@ use crate::SimTime;
 /// assert_eq!(ByteRate::from_gbps(100.0).bytes_per_sec(), 12_500_000_000);
 /// assert_eq!(ByteRate::from_mb_per_sec(2375.0).bytes_per_sec(), 2_375_000_000);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ByteRate(u64);
 
 impl ByteRate {
@@ -60,6 +61,19 @@ impl ByteRate {
     /// The rate in decimal megabytes per second.
     pub fn as_mb_per_sec(self) -> f64 {
         self.0 as f64 / 1e6
+    }
+
+    /// This rate scaled by `factor` (degraded links, fail-slow devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
+        ByteRate((self.0 as f64 * factor).round() as u64)
     }
 
     /// Time to move `bytes` at this rate.
@@ -311,6 +325,9 @@ mod tests {
         let mut cpu = RateResource::new(ByteRate::from_bytes_per_sec(1));
         let s = cpu.serve_fixed(SimTime::from_micros(3), SimTime::from_micros(2));
         assert_eq!(s.end, SimTime::from_micros(5));
-        assert_eq!(s.latency_from(SimTime::from_micros(1)), SimTime::from_micros(4));
+        assert_eq!(
+            s.latency_from(SimTime::from_micros(1)),
+            SimTime::from_micros(4)
+        );
     }
 }

@@ -113,7 +113,11 @@ mod tests {
             fb.clone().next_u64(),
             "forks of equal parents agree"
         );
-        assert_ne!(a.next_u64(), fa.clone().next_u64(), "fork diverges from parent");
+        assert_ne!(
+            a.next_u64(),
+            fa.clone().next_u64(),
+            "fork diverges from parent"
+        );
     }
 
     #[test]

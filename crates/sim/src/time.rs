@@ -16,8 +16,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.as_nanos(), 10_500);
 /// assert!(t > SimTime::ZERO);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -1,88 +1,104 @@
-//! Property-based tests of the DES substrate: resource-model invariants and
-//! engine determinism.
+//! Randomized property tests of the DES substrate: resource-model invariants
+//! and engine determinism, driven by the crate's own seeded [`DetRng`] (the
+//! environment has no crates.io access, so these are plain loops rather than
+//! `proptest` strategies — same invariants, reproducible cases).
 
 use draid_sim::{ByteRate, DetRng, Engine, RateResource, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn rate_resource_is_fifo_and_work_conserving(
-        rate_mb in 1.0f64..10_000.0,
-        requests in prop::collection::vec((0u64..1_000_000, 0u64..1 << 20), 1..60),
-    ) {
-        let rate = ByteRate::from_mb_per_sec(rate_mb);
+#[test]
+fn rate_resource_is_fifo_and_work_conserving() {
+    let mut rng = DetRng::new(0x51A1);
+    for _ in 0..60 {
+        let rate = ByteRate::from_mb_per_sec(1.0 + rng.unit_f64() * 9_999.0);
+        let n = 1 + rng.below(60) as usize;
         let mut res = RateResource::new(rate);
         let mut prev_end = SimTime::ZERO;
         let mut clock = SimTime::ZERO;
         let mut total_busy = SimTime::ZERO;
-        for (advance_ns, bytes) in requests {
-            clock += SimTime::from_nanos(advance_ns);
+        for _ in 0..n {
+            clock += SimTime::from_nanos(rng.below(1_000_000));
+            let bytes = rng.below(1 << 20);
             let svc = res.serve(clock, bytes);
             // FIFO: service windows never overlap or reorder.
-            prop_assert!(svc.start >= prev_end);
-            prop_assert!(svc.start >= clock);
-            prop_assert!(svc.end >= svc.start);
+            assert!(svc.start >= prev_end);
+            assert!(svc.start >= clock);
+            assert!(svc.end >= svc.start);
             // Service time matches the rate (ceil rounding).
             let expect = rate.time_for(bytes);
-            prop_assert_eq!(svc.end - svc.start, expect);
+            assert_eq!(svc.end - svc.start, expect);
             total_busy += expect;
             prev_end = svc.end;
         }
         // Work conservation: busy time equals the sum of service times, and
         // the resource never finishes before the work could be done.
-        prop_assert_eq!(res.busy_time(), total_busy);
-        prop_assert!(res.next_free() >= total_busy);
+        assert_eq!(res.busy_time(), total_busy);
+        assert!(res.next_free() >= total_busy);
     }
+}
 
-    #[test]
-    fn engine_orders_events_by_time_then_fifo(
-        delays in prop::collection::vec(0u64..1_000_000, 1..200),
-    ) {
+#[test]
+fn engine_orders_events_by_time_then_fifo() {
+    let mut rng = DetRng::new(0x51A2);
+    for _ in 0..50 {
+        let n = 1 + rng.below(200) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
         let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
         let mut world: Vec<(u64, usize)> = Vec::new();
         for (seq, &d) in delays.iter().enumerate() {
-            engine.schedule_at(SimTime::from_nanos(d), move |w: &mut Vec<(u64, usize)>, _| {
-                w.push((d, seq));
-            });
+            engine.schedule_at(
+                SimTime::from_nanos(d),
+                move |w: &mut Vec<(u64, usize)>, _| {
+                    w.push((d, seq));
+                },
+            );
         }
         engine.run(&mut world);
-        prop_assert_eq!(world.len(), delays.len());
+        assert_eq!(world.len(), delays.len());
         // Non-decreasing times; equal times preserve submission order.
         for pair in world.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].0 <= pair[1].0);
             if pair[0].0 == pair[1].0 {
-                prop_assert!(pair[0].1 < pair[1].1);
+                assert!(pair[0].1 < pair[1].1);
             }
         }
     }
+}
 
-    #[test]
-    fn rng_streams_are_deterministic_and_in_range(seed: u64, bound in 1u64..1_000_000) {
+#[test]
+fn rng_streams_are_deterministic_and_in_range() {
+    let mut seeds = DetRng::new(0x51A3);
+    for _ in 0..30 {
+        let seed = seeds.next_u64();
+        let bound = 1 + seeds.below(1_000_000);
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..100 {
             let x = a.below(bound);
-            prop_assert_eq!(x, b.below(bound));
-            prop_assert!(x < bound);
+            assert_eq!(x, b.below(bound));
+            assert!(x < bound);
             let f = a.unit_f64();
-            prop_assert_eq!(f.to_bits(), b.unit_f64().to_bits());
-            prop_assert!((0.0..1.0).contains(&f));
+            assert_eq!(f.to_bits(), b.unit_f64().to_bits());
+            assert!((0.0..1.0).contains(&f));
         }
     }
+}
 
-    #[test]
-    fn histogram_percentiles_are_monotone(samples in prop::collection::vec(0u64..1 << 40, 1..300)) {
+#[test]
+fn histogram_percentiles_are_monotone() {
+    let mut rng = DetRng::new(0x51A4);
+    for _ in 0..50 {
+        let n = 1 + rng.below(300) as usize;
         let mut h = draid_sim::Histogram::new();
-        for &s in &samples {
-            h.record(SimTime::from_nanos(s));
+        for _ in 0..n {
+            h.record(SimTime::from_nanos(rng.below(1 << 40)));
         }
         let mut prev = SimTime::ZERO;
         for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = h.percentile(q);
-            prop_assert!(v >= prev, "percentile({q}) regressed");
+            assert!(v >= prev, "percentile({q}) regressed");
             prev = v;
         }
-        prop_assert_eq!(h.percentile(100.0), h.max());
-        prop_assert!(h.mean() >= h.min() && h.mean() <= h.max());
+        assert_eq!(h.percentile(100.0), h.max());
+        assert!(h.mean() >= h.min() && h.mean() <= h.max());
     }
 }

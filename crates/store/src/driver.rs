@@ -232,12 +232,8 @@ mod tests {
         let cfg = ArrayConfig::paper_default(SystemKind::Draid);
         let array = ArraySim::new(Cluster::homogeneous(8), cfg).expect("valid");
         let store = ObjectStore::paper_default();
-        let gen = YcsbGen::with_distribution(
-            YcsbWorkload::A,
-            crate::Distribution::Uniform,
-            10_000,
-            1,
-        );
+        let gen =
+            YcsbGen::with_distribution(YcsbWorkload::A, crate::Distribution::Uniform, 10_000, 1);
         let runner = AppRunner {
             concurrency: 16,
             warmup: SimTime::from_millis(5),

@@ -7,7 +7,7 @@ use draid_core::UserIo;
 use draid_sim::SimTime;
 
 use crate::driver::{BlockApp, IoPlan, PlanStep};
-use crate::{YcsbOp};
+use crate::YcsbOp;
 
 /// A hash-based object store over the virtual RAID device.
 #[derive(Clone, Debug)]

@@ -85,9 +85,10 @@ impl YcsbOp {
     /// The key this operation touches.
     pub fn key(self) -> u64 {
         match self {
-            YcsbOp::Read(k) | YcsbOp::Update(k) | YcsbOp::Insert(k) | YcsbOp::ReadModifyWrite(k) => {
-                k
-            }
+            YcsbOp::Read(k)
+            | YcsbOp::Update(k)
+            | YcsbOp::Insert(k)
+            | YcsbOp::ReadModifyWrite(k) => k,
         }
     }
 }
@@ -285,7 +286,12 @@ mod tests {
             counts[v as usize] += 1;
         }
         // Head heavier than the tail; everything in range.
-        assert!(counts[0] > 5 * counts[100].max(1), "head {} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > 5 * counts[100].max(1),
+            "head {} vs {}",
+            counts[0],
+            counts[100]
+        );
         let tail: u32 = counts[900..].iter().sum();
         assert!(counts[0] as f64 > tail as f64 / 10.0);
     }
@@ -295,7 +301,9 @@ mod tests {
         // Compare the clamped estimate against exact for a value just above
         // the clamp threshold by computing both with a smaller clamp.
         let exact = ZipfianGen::zeta(1_000_000, 0.99);
-        let series: f64 = (1..=1_000_000u64).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        let series: f64 = (1..=1_000_000u64)
+            .map(|i| 1.0 / (i as f64).powf(0.99))
+            .sum();
         assert!((exact - series).abs() / series < 1e-9);
     }
 
@@ -321,7 +329,9 @@ mod tests {
                 "{w:?} read fraction {rf}"
             );
             match w {
-                YcsbWorkload::A | YcsbWorkload::B => assert!(updates > 0 && inserts == 0 && rmws == 0),
+                YcsbWorkload::A | YcsbWorkload::B => {
+                    assert!(updates > 0 && inserts == 0 && rmws == 0)
+                }
                 YcsbWorkload::C => assert_eq!(reads, 10_000),
                 YcsbWorkload::D => assert!(inserts > 0 && updates == 0),
                 YcsbWorkload::F => assert!(rmws > 0 && updates == 0),
@@ -360,8 +370,7 @@ mod tests {
 
     #[test]
     fn uniform_covers_keyspace() {
-        let mut g =
-            YcsbGen::with_distribution(YcsbWorkload::C, Distribution::Uniform, 100, 11);
+        let mut g = YcsbGen::with_distribution(YcsbWorkload::C, Distribution::Uniform, 100, 11);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..5_000 {
             seen.insert(g.next_op().key());

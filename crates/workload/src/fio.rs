@@ -201,7 +201,9 @@ mod tests {
 
     #[test]
     fn offsets_respect_alignment_and_bounds() {
-        let job = FioJob::random_write(128 * 1024).working_set(1 << 30).seed(1);
+        let job = FioJob::random_write(128 * 1024)
+            .working_set(1 << 30)
+            .seed(1);
         let mut rng = DetRng::new(job.seed);
         let l = layout();
         for _ in 0..1000 {

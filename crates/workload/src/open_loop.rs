@@ -272,7 +272,10 @@ mod tests {
         let out = runner.run(array(), &FioJob::random_write(128 * 1024));
         assert!(out.stable(), "{out:?}");
         // Offered ~ achieved ~ 5K ops/s.
-        assert!((4_000.0..6_000.0).contains(&out.offered_ops_per_sec), "{out:?}");
+        assert!(
+            (4_000.0..6_000.0).contains(&out.offered_ops_per_sec),
+            "{out:?}"
+        );
         assert!(out.report.mean_latency_us < 600.0, "{out:?}");
         assert_eq!(out.shed, 0);
     }

@@ -167,7 +167,11 @@ impl Default for Runner {
     }
 }
 
-fn submit_next(array: &mut ArraySim, engine: &mut Engine<ArraySim>, stream: &Rc<RefCell<FioStream>>) {
+fn submit_next(
+    array: &mut ArraySim,
+    engine: &mut Engine<ArraySim>,
+    stream: &Rc<RefCell<FioStream>>,
+) {
     let io = stream.borrow_mut().next_io(array.layout());
     let stream2 = Rc::clone(stream);
     array.submit_with_hook(

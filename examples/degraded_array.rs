@@ -33,8 +33,15 @@ fn main() -> Result<(), String> {
         );
     }
     engine.run(&mut array);
-    let ok = array.drain_completions().iter().filter(|r| r.is_ok()).count();
-    println!("populated {ok}/{OBJECTS} objects ({} MiB total)", (OBJECTS * OBJECT_BYTES) >> 20);
+    let ok = array
+        .drain_completions()
+        .iter()
+        .filter(|r| r.is_ok())
+        .count();
+    println!(
+        "populated {ok}/{OBJECTS} objects ({} MiB total)",
+        (OBJECTS * OBJECT_BYTES) >> 20
+    );
 
     // Phase 2: kill member 2 — the array enters degraded state.
     array.fail_member(2);
@@ -86,8 +93,7 @@ fn main() -> Result<(), String> {
     // storage pool (Table 1's "hot spare: storage pool"). The data path is
     // peer-to-peer: survivors → reducer → spare; the host only coordinates.
     let spare = ServerId(array.config().width);
-    let used_stripes =
-        (OBJECTS * OBJECT_BYTES).div_ceil(array.layout().stripe_data_bytes());
+    let used_stripes = (OBJECTS * OBJECT_BYTES).div_ceil(array.layout().stripe_data_bytes());
     let start = engine.now();
     array.start_rebuild(&mut engine, 2, spare, used_stripes, 4);
     engine.run(&mut array);

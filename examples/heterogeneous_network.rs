@@ -8,8 +8,8 @@
 //! ```
 
 use draid::block::{ClusterBuilder, CpuSpec, DriveSpec};
-use draid::core::{ArrayConfig, ArraySim, DraidOptions, ReducerPolicy, SystemKind};
 use draid::core::reducer::water_fill;
+use draid::core::{ArrayConfig, ArraySim, DraidOptions, ReducerPolicy, SystemKind};
 use draid::net::NicSpec;
 use draid::workload::{FioJob, Runner};
 
@@ -18,7 +18,11 @@ fn build(policy: ReducerPolicy) -> ArraySim {
     let mut b = ClusterBuilder::new();
     b.host(vec![NicSpec::cx5_100g()], CpuSpec::default());
     for i in 0..8 {
-        let nic = if i >= 5 { NicSpec::cx5_25g() } else { NicSpec::cx5_100g() };
+        let nic = if i >= 5 {
+            NicSpec::cx5_25g()
+        } else {
+            NicSpec::cx5_100g()
+        };
         b.server(vec![nic], DriveSpec::default(), CpuSpec::default());
     }
     let mut cfg = ArrayConfig::paper_default(SystemKind::Draid);
@@ -40,7 +44,9 @@ fn main() {
 
     // Then the end-to-end effect under a reconstruction-heavy workload.
     let runner = Runner::new();
-    let job = FioJob::random_read(128 * 1024).queue_depth(16).target_member(0);
+    let job = FioJob::random_read(128 * 1024)
+        .queue_depth(16)
+        .target_member(0);
     println!("\ndegraded reads targeting the failed member, 3 of 8 nodes on 25 Gbps:");
     for (name, policy) in [
         ("random reducer", ReducerPolicy::Random),

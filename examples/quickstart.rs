@@ -43,7 +43,11 @@ fn main() -> Result<(), String> {
     engine.run(&mut array);
     let read = array.drain_completions().pop().expect("read completion");
     assert_eq!(read.data.as_deref(), Some(&payload[..]), "data integrity");
-    println!("read : {} KiB in {} (verified)", read.len / 1024, read.latency());
+    println!(
+        "read : {} KiB in {} (verified)",
+        read.len / 1024,
+        read.latency()
+    );
 
     // What the simulated hardware did.
     let host = array.cluster.host_node();

@@ -26,11 +26,7 @@ type ChaosOutcome = (ArraySim, Engine<ArraySim>, Vec<(u64, Vec<u8>)>);
 
 /// Runs `rounds` of overlapping writes+reads while short transients strike
 /// random members; returns the array for post-mortem checks.
-fn run_chaos(
-    level: RaidLevel,
-    seed: u64,
-    rounds: u64,
-) -> ChaosOutcome {
+fn run_chaos(level: RaidLevel, seed: u64, rounds: u64) -> ChaosOutcome {
     let mut array = chaos_array(level);
     let mut engine: Engine<ArraySim> = Engine::new();
     let mut rng = DetRng::new(seed);
@@ -123,9 +119,10 @@ fn chaos_with_failure_and_rebuild() {
     let stripes = 10u64;
 
     let mut shadow = vec![0u8; (stripes * stripe) as usize];
-    let write_some = |array: &mut ArraySim, engine: &mut Engine<ArraySim>,
-                          rng: &mut DetRng,
-                          shadow: &mut Vec<u8>| {
+    let write_some = |array: &mut ArraySim,
+                      engine: &mut Engine<ArraySim>,
+                      rng: &mut DetRng,
+                      shadow: &mut Vec<u8>| {
         for _ in 0..8 {
             let len = 8 * KIB;
             let off = rng.below(stripes * stripe - len) / KIB * KIB;

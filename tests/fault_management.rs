@@ -1,0 +1,247 @@
+//! End-to-end tests of the fault-management plane: a member failure is
+//! *detected* through the §5.4 evidence path, *declared*, and *rebuilt* onto
+//! a pool spare by the fault manager — with no manual `start_rebuild` — while
+//! the workload keeps running; fail-slow (gray) members are quarantined
+//! without ever tripping a rebuild; and transients striking mid-rebuild
+//! neither corrupt the spare nor stall the pump.
+
+use bytes::Bytes;
+use draid::block::Cluster;
+use draid::core::{
+    ArrayConfig, ArraySim, DataMode, FaultManagerConfig, FaultSchedule, HealthState, RaidLevel,
+    SystemKind, UserIo,
+};
+use draid::sim::{DetRng, Engine, SimTime};
+
+const KIB: u64 = 1024;
+
+fn managed_array(width: usize, pool: usize) -> (ArraySim, Engine<ArraySim>) {
+    let mut cfg = ArrayConfig::paper_default(SystemKind::Draid);
+    cfg.level = RaidLevel::Raid5;
+    cfg.width = width;
+    cfg.chunk_size = 16 * KIB;
+    cfg.data_mode = DataMode::Full;
+    cfg.op_deadline = SimTime::from_millis(5);
+    let array = ArraySim::new(Cluster::homogeneous(pool), cfg).expect("valid");
+    (array, Engine::new())
+}
+
+/// Writes one full random stripe per slot in `slots`, mirroring into the
+/// shadow buffer, and runs the engine to completion.
+fn write_round(
+    array: &mut ArraySim,
+    engine: &mut Engine<ArraySim>,
+    rng: &mut DetRng,
+    shadow: &mut [u8],
+    slots: &[u64],
+) -> Vec<draid::core::IoResult> {
+    let stripe = array.layout().stripe_data_bytes();
+    for &slot in slots {
+        let off = slot * stripe;
+        let mut data = vec![0u8; stripe as usize];
+        rng.fill_bytes(&mut data);
+        shadow[off as usize..(off + stripe) as usize].copy_from_slice(&data);
+        array.submit(engine, UserIo::write_bytes(off, Bytes::from(data)));
+    }
+    engine.run(array);
+    array.drain_completions()
+}
+
+#[test]
+fn auto_rebuild_closes_the_loop_without_operator() {
+    // Width-5 array over a 7-server pool: servers 5 and 6 are spares.
+    let (mut array, mut engine) = managed_array(5, 7);
+    let stripes = 8u64;
+    array.enable_fault_manager(FaultManagerConfig {
+        period: SimTime::from_micros(500),
+        rebuild_stripes: stripes,
+        rebuild_concurrency: 3,
+    });
+    let mut rng = DetRng::new(0xFA017);
+    let stripe = array.layout().stripe_data_bytes();
+    let mut shadow = vec![0u8; (stripes * stripe) as usize];
+    let slots: Vec<u64> = (0..stripes).collect();
+
+    // Baseline content everywhere.
+    let results = write_round(&mut array, &mut engine, &mut rng, &mut shadow, &slots);
+    assert!(results.iter().all(|r| r.is_ok()));
+
+    // Member 2's drive dies *silently* — no declaration. The host has to
+    // discover it from errored ops (§5.4 windowed evidence).
+    FaultSchedule::new()
+        .fail_drive(engine.now() + SimTime::from_micros(100), 2)
+        .install(&mut engine);
+
+    // Sustained writes: evidence accrues, the member is declared, the
+    // manager draws a spare and rebuilds — all inside these rounds.
+    for _ in 0..6 {
+        let results = write_round(&mut array, &mut engine, &mut rng, &mut shadow, &slots);
+        assert!(
+            results.iter().all(|r| r.is_ok()),
+            "writes must survive the failure (faulty: {:?})",
+            array.faulty_members()
+        );
+    }
+
+    assert!(
+        array.fault_manager_rebuilds() >= 1,
+        "the manager must have started the rebuild on its own"
+    );
+    assert!(
+        !array.is_degraded(),
+        "rebuild onto the pool spare must have completed (status: {:?})",
+        array.rebuild_status()
+    );
+    assert_eq!(array.health().state(2), HealthState::Healthy);
+
+    // Zero loss: fsck clean and every byte reads back.
+    let bad = array.store().expect("full mode").verify_all();
+    assert!(bad.is_empty(), "post-rebuild fsck: {bad:?}");
+    array.submit(&mut engine, UserIo::read(0, shadow.len() as u64));
+    engine.run(&mut array);
+    let res = array.drain_completions().pop().expect("read");
+    assert_eq!(res.data.as_deref(), Some(&shadow[..]), "readback diverged");
+}
+
+#[test]
+fn second_failure_is_rebuilt_by_the_rearmed_manager() {
+    // After healing one failure the manager must pick up the next: two
+    // sequential failures, two spares drawn (servers 5 then 6).
+    let (mut array, mut engine) = managed_array(5, 7);
+    let stripes = 6u64;
+    array.enable_fault_manager(FaultManagerConfig {
+        period: SimTime::from_micros(500),
+        rebuild_stripes: stripes,
+        rebuild_concurrency: 3,
+    });
+    let mut rng = DetRng::new(0xFA018);
+    let stripe = array.layout().stripe_data_bytes();
+    let mut shadow = vec![0u8; (stripes * stripe) as usize];
+    let slots: Vec<u64> = (0..stripes).collect();
+    write_round(&mut array, &mut engine, &mut rng, &mut shadow, &slots);
+
+    for victim in [1usize, 3] {
+        FaultSchedule::new()
+            .fail_drive(engine.now() + SimTime::from_micros(50), victim)
+            .install(&mut engine);
+        for _ in 0..6 {
+            let results = write_round(&mut array, &mut engine, &mut rng, &mut shadow, &slots);
+            assert!(results.iter().all(|r| r.is_ok()));
+        }
+        assert!(!array.is_degraded(), "member {victim} healed");
+    }
+    assert_eq!(array.fault_manager_rebuilds(), 2);
+    let bad = array.store().expect("full mode").verify_all();
+    assert!(bad.is_empty(), "fsck after two heals: {bad:?}");
+    array.submit(&mut engine, UserIo::read(0, shadow.len() as u64));
+    engine.run(&mut array);
+    let res = array.drain_completions().pop().expect("read");
+    assert_eq!(res.data.as_deref(), Some(&shadow[..]));
+}
+
+#[test]
+fn fail_slow_member_is_quarantined_not_rebuilt() {
+    let (mut array, mut engine) = managed_array(6, 6);
+    array.enable_fault_manager(FaultManagerConfig {
+        period: SimTime::from_micros(500),
+        rebuild_stripes: 4,
+        rebuild_concurrency: 2,
+    });
+    let mut rng = DetRng::new(0xFA019);
+    let stripe = array.layout().stripe_data_bytes();
+    let stripes = 4u64;
+    let mut shadow = vec![0u8; (stripes * stripe) as usize];
+    let slots: Vec<u64> = (0..stripes).collect();
+
+    // Member 1 serves 10× slower — no errors, just latency (gray failure).
+    FaultSchedule::new()
+        .fail_slow(SimTime::from_micros(10), 1, 10.0)
+        .install(&mut engine);
+
+    // Mixed rounds, spaced out so the latency excess persists well past the
+    // detector's grace period (2 × op deadline = 10 ms).
+    for round in 0..12 {
+        let results = write_round(&mut array, &mut engine, &mut rng, &mut shadow, &slots);
+        assert!(results.iter().all(|r| r.is_ok()), "round {round}");
+        array.submit(&mut engine, UserIo::read(0, stripe));
+        engine.schedule_in(SimTime::from_millis(2), |_, _| {});
+        engine.run(&mut array);
+        assert!(array.drain_completions().iter().all(|r| r.is_ok()));
+    }
+
+    assert_eq!(
+        array.health().state(1),
+        HealthState::Quarantined,
+        "10× latency with zero errors is a gray member (EWMA {:?} vs healthy {:?})",
+        array.health().member(1).ewma_latency(),
+        array.health().member(0).ewma_latency(),
+    );
+    // Quarantine is advisory: nothing was declared, nothing rebuilt, no I/O
+    // was lost to the slow member.
+    assert!(array.faulty_members().is_empty());
+    assert_eq!(array.fault_manager_rebuilds(), 0);
+    assert_eq!(array.stats.failed_ios, 0);
+
+    // Restoring full speed recovers the member after fresh samples.
+    array.inject_fail_slow(1, 1.0);
+    for _ in 0..20 {
+        write_round(&mut array, &mut engine, &mut rng, &mut shadow, &slots);
+    }
+    assert_eq!(array.health().state(1), HealthState::Healthy);
+}
+
+#[test]
+fn transient_mid_rebuild_neither_corrupts_nor_stalls() {
+    // Default 250 ms deadline: the whole transient burst lands in one
+    // evidence window, so the surviving member is never at risk of being
+    // declared faulty by its own rebuild reads.
+    let mut cfg = ArrayConfig::paper_default(SystemKind::Draid);
+    cfg.level = RaidLevel::Raid5;
+    cfg.width = 5;
+    cfg.chunk_size = 16 * KIB;
+    cfg.data_mode = DataMode::Full;
+    let mut array = ArraySim::new(Cluster::homogeneous(6), cfg).expect("valid");
+    let mut engine: Engine<ArraySim> = Engine::new();
+
+    let mut rng = DetRng::new(0xFA01A);
+    let stripes = 10u64;
+    let stripe = array.layout().stripe_data_bytes();
+    let mut shadow = vec![0u8; (stripes * stripe) as usize];
+    let slots: Vec<u64> = (0..stripes).collect();
+    write_round(&mut array, &mut engine, &mut rng, &mut shadow, &slots);
+
+    array.fail_member(2);
+    array.start_rebuild(&mut engine, 2, draid::block::ServerId(5), stripes, 2);
+    // A survivor goes transient while its chunks are being pulled for
+    // reconstruction; failed stripe rebuilds must rewind and retry, not
+    // poison the spare or wedge the pump.
+    FaultSchedule::new()
+        .transient(
+            engine.now() + SimTime::from_micros(150),
+            0,
+            SimTime::from_micros(400),
+        )
+        .install(&mut engine);
+    engine.run(&mut array);
+
+    assert!(
+        !array.is_degraded(),
+        "rebuild must complete despite the transient"
+    );
+    assert!(array.rebuild_status().is_none(), "pump drained");
+    assert!(
+        array.faulty_members().is_empty(),
+        "the transient member must not be declared: {:?}",
+        array.faulty_members()
+    );
+    let bad = array.store().expect("full mode").verify_all();
+    assert!(bad.is_empty(), "spare content poisoned: {bad:?}");
+    array.submit(&mut engine, UserIo::read(0, shadow.len() as u64));
+    engine.run(&mut array);
+    let res = array.drain_completions().pop().expect("read");
+    assert_eq!(
+        res.data.as_deref(),
+        Some(&shadow[..]),
+        "data loss after rebuild"
+    );
+}

@@ -36,8 +36,8 @@ fn fio_write_ranking_matches_paper() {
         linux.bandwidth_mb_per_sec
     );
     // And dRAID's host traffic is ~1 copy per user byte while SPDK's is ~4.
-    let draid_copies = (draid.host_tx_bytes + draid.host_rx_bytes) as f64
-        / (draid.writes as f64 * 131_072.0);
+    let draid_copies =
+        (draid.host_tx_bytes + draid.host_rx_bytes) as f64 / (draid.writes as f64 * 131_072.0);
     let spdk_copies =
         (spdk.host_tx_bytes + spdk.host_rx_bytes) as f64 / (spdk.writes as f64 * 131_072.0);
     assert!(draid_copies < 1.2, "draid copies {draid_copies:.2}");
@@ -180,7 +180,9 @@ fn bandwidth_aware_beats_random_on_heterogeneous_network() {
         array.fail_member(0);
         array
     };
-    let job = FioJob::random_read(128 * 1024).queue_depth(16).target_member(0);
+    let job = FioJob::random_read(128 * 1024)
+        .queue_depth(16)
+        .target_member(0);
     let runner = Runner::quick();
     let random = runner.run(build(ReducerPolicy::Random), &job);
     let aware = runner.run(build(ReducerPolicy::BandwidthAware), &job);
@@ -212,7 +214,16 @@ fn ablations_cost_performance() {
     let no_pipeline = run_variant(|d| d.pipeline = false);
     let no_p2p = run_variant(|d| d.peer_to_peer = false);
     let blocking = run_variant(|d| d.nonblocking = false);
-    assert!(no_pipeline <= full * 1.02, "pipeline off helped? {no_pipeline:.0} vs {full:.0}");
-    assert!(no_p2p < full * 0.80, "p2p off should hurt: {no_p2p:.0} vs {full:.0}");
-    assert!(blocking <= full * 1.02, "barrier helped? {blocking:.0} vs {full:.0}");
+    assert!(
+        no_pipeline <= full * 1.02,
+        "pipeline off helped? {no_pipeline:.0} vs {full:.0}"
+    );
+    assert!(
+        no_p2p < full * 0.80,
+        "p2p off should hurt: {no_p2p:.0} vs {full:.0}"
+    );
+    assert!(
+        blocking <= full * 1.02,
+        "barrier helped? {blocking:.0} vs {full:.0}"
+    );
 }
