@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the wide GF(256) kernels against the seed's scalar
+//! reference path, across buffer sizes: XOR, multiply-accumulate (wide vs
+//! scalar), the one-pass RAID-6 Q syndrome, and Reed-Solomon decode.
+//!
+//! The machine-readable companion is `cargo run --release -p draid-bench
+//! --bin kernels`, which emits `BENCH_kernels.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use draid_ec::{gf256, kernels, xor_into, xor_of_into, ReedSolomon};
+
+const SIZES: &[usize] = &[4 * 1024, 64 * 1024, 1024 * 1024];
+
+fn buf(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed))
+        .collect()
+}
+
+fn label(size: usize) -> String {
+    if size >= 1024 * 1024 {
+        format!("{}MiB", size / (1024 * 1024))
+    } else {
+        format!("{}KiB", size / 1024)
+    }
+}
+
+fn bench_xor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xor");
+    for &size in SIZES {
+        let src = buf(size, 3);
+        let mut acc = buf(size, 5);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("xor_into", label(size)), &size, |b, _| {
+            b.iter(|| xor_into(black_box(&mut acc), black_box(&src)))
+        });
+        let sources: Vec<Vec<u8>> = (0..7).map(|i| buf(size, i)).collect();
+        let refs: Vec<&[u8]> = sources.iter().map(|s| &s[..]).collect();
+        g.throughput(Throughput::Bytes((7 * size) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("xor_of_into_7", label(size)),
+            &size,
+            |b, _| b.iter(|| xor_of_into(black_box(&mut acc), black_box(&refs))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_mul_acc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mul_acc");
+    for &size in SIZES {
+        let src = buf(size, 7);
+        let mut acc = buf(size, 11);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("wide", label(size)), &size, |b, _| {
+            b.iter(|| gf256::mul_acc(black_box(&mut acc), black_box(&src), black_box(0x1D)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("scalar_ref", label(size)),
+            &size,
+            |b, _| {
+                b.iter(|| gf256::mul_acc_ref(black_box(&mut acc), black_box(&src), black_box(0x1D)))
+            },
+        );
+        let t = kernels::mul_table(0x1D);
+        g.bench_with_input(
+            BenchmarkId::new("wide_cached_table", label(size)),
+            &size,
+            |b, _| b.iter(|| kernels::mul_acc(black_box(&mut acc), black_box(&src), t)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_q_syndrome(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raid6_q");
+    for &size in SIZES {
+        let data: Vec<Vec<u8>> = (0..6).map(|i| buf(size, i as u8 * 13 + 1)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let mut q = vec![0u8; size];
+        g.throughput(Throughput::Bytes((6 * size) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("raid6_q_into_6", label(size)),
+            &size,
+            |b, _| b.iter(|| kernels::raid6_q_into(black_box(&mut q), black_box(&refs))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_rs_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_decode");
+    let rs = ReedSolomon::new(6, 2);
+    for &size in SIZES {
+        let data: Vec<Vec<u8>> = (0..6).map(|i| buf(size, i as u8 * 29 + 3)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        g.throughput(Throughput::Bytes((6 * size) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("reconstruct_2_of_6+2", label(size)),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let mut shards: Vec<Option<Vec<u8>>> = data
+                        .iter()
+                        .cloned()
+                        .map(Some)
+                        .chain(parity.iter().cloned().map(Some))
+                        .collect();
+                    shards[1] = None;
+                    shards[4] = None;
+                    rs.reconstruct(black_box(&mut shards)).expect("decodable")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_xor, bench_mul_acc, bench_q_syndrome, bench_rs_decode
+}
+criterion_main!(benches);

@@ -1,6 +1,14 @@
 //! Parallel sweep execution: every experiment point is an independent
 //! simulation, so points fan out across cores.
+//!
+//! Work distribution is a single atomic cursor over a shared slice of input
+//! slots: each worker claims the next index with a `fetch_add` and writes its
+//! result into that index's own slot. No queue or result vector is globally
+//! locked — the per-slot mutexes exist only to move values across the thread
+//! boundary safely and are touched by exactly one worker each, so they never
+//! contend.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Maps `f` over `inputs` on a thread pool, preserving order.
@@ -21,24 +29,33 @@ where
     if workers <= 1 {
         return inputs.into_iter().map(f).collect();
     }
-    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(inputs.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let slots: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let Some((idx, input)) = queue.lock().expect("queue poisoned").pop() else {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
                     break;
-                };
+                }
+                let input = slots[idx]
+                    .lock()
+                    .expect("slot poisoned")
+                    .take()
+                    .expect("index claimed exactly once");
                 let r = f(input);
-                results.lock().expect("results poisoned")[idx] = Some(r);
+                *results[idx].lock().expect("slot poisoned") = Some(r);
             });
         }
     });
     results
-        .into_inner()
-        .expect("results poisoned")
         .into_iter()
-        .map(|r| r.expect("every input produced a result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every input produced a result")
+        })
         .collect()
 }
 
@@ -56,5 +73,31 @@ mod tests {
     fn empty_input() {
         let out: Vec<i32> = map(Vec::<i32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_input_runs_inline() {
+        assert_eq!(map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn many_more_inputs_than_workers() {
+        // Forces every worker through many claim cycles; order must hold.
+        let n = 10_000;
+        let out = map((0..n).collect(), |x: u64| x * x);
+        assert_eq!(out, (0..n).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_uniform_work_is_order_preserving() {
+        // Later indices finish first under skewed work; results still land
+        // in input order.
+        let out = map((0..64u64).collect(), |x| {
+            if x % 8 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
     }
 }

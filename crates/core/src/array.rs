@@ -87,6 +87,9 @@ pub struct ArraySim {
     pub(crate) volume_cursor: u64,
     pub(crate) user_volumes: HashMap<u64, crate::volume::VolumeId>,
     pub(crate) fault_mgr: Option<crate::fault::FaultManagerState>,
+    /// Recycled scratch buffers for the op data plane (see
+    /// [`crate::exec::BufPool`]).
+    pub(crate) buf_pool: crate::exec::BufPool,
 }
 
 impl std::fmt::Debug for ArraySim {
@@ -155,6 +158,7 @@ impl ArraySim {
             volume_cursor: 0,
             user_volumes: HashMap::new(),
             fault_mgr: None,
+            buf_pool: crate::exec::BufPool::new(),
             cfg,
         })
     }
@@ -539,11 +543,7 @@ impl ArraySim {
     /// rewritten from scratch, guaranteeing consistency regardless of where
     /// the crashed write stopped.
     fn resync_stripe(&mut self, eng: &mut Engine<ArraySim>, stripe: u64) {
-        let io = crate::layout::StripeIo {
-            stripe,
-            buf_offset: 0,
-            segments: Vec::new(),
-        };
+        let io = crate::layout::StripeIo::new(stripe, 0, Vec::new());
         let gen = self.fresh_gen();
         let mut op = OpState::new(gen, 0, io, IoKind::Write);
         op.force_rcw = true;

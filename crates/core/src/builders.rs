@@ -263,7 +263,7 @@ impl<'a, 'c> Builder<'a, 'c> {
     /// read, data straight back to the host (the data transfer is the
     /// completion; no separate callback).
     fn normal_read(&mut self, io: &StripeIo) {
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             let ready = self.command(seg.member, 0);
             let read = self.dag.add(
                 StepKind::DriveRead {
@@ -281,7 +281,7 @@ impl<'a, 'c> Builder<'a, 'c> {
     /// the rebuilt extent to the host.
     fn draid_degraded_read(&mut self, io: &StripeIo) {
         let stripe = io.stripe;
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             if self.healthy(seg.member) {
                 let ready = self.command(seg.member, 0);
                 let read = self.dag.add(
@@ -347,7 +347,7 @@ impl<'a, 'c> Builder<'a, 'c> {
     /// NIC (Table 1 "Nx") and the host reconstructs.
     fn central_degraded_read(&mut self, io: &StripeIo) {
         let stripe = io.stripe;
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             if self.healthy(seg.member) {
                 let ready = self.command(seg.member, 0);
                 let read = self.dag.add(
@@ -415,7 +415,7 @@ impl<'a, 'c> Builder<'a, 'c> {
                 &[self.root],
             )
         });
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             let ready = self.command(seg.member, seg.len);
             let write = self.dag.add(
                 StepKind::DriveWrite {
@@ -505,7 +505,7 @@ impl<'a, 'c> Builder<'a, 'c> {
         // the untouched members stream their (old) chunks as contributions.
         let mut p_fwds = Vec::new();
         let mut q_fwds = Vec::new();
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             let m = seg.member;
             let fetch = self.command(m, seg.len);
             let contrib_bytes = if rmw { seg.len } else { chunk };
@@ -761,7 +761,7 @@ impl<'a, 'c> Builder<'a, 'c> {
             b.dag.add(StepKind::PerIo { node: b.ctx.host }, &[arrival])
         };
         if rmw {
-            for seg in io.segments.clone() {
+            for seg in io.segments.iter().copied() {
                 arrivals.push(pull(self, &mut pulled, seg.member, seg.len));
             }
             arrivals.push(pull(self, &mut pulled, p, extent));
@@ -777,7 +777,7 @@ impl<'a, 'c> Builder<'a, 'c> {
                 }
             }
             // Partially-covered chunks need their complements too.
-            for seg in io.segments.clone() {
+            for seg in io.segments.iter().copied() {
                 if !seg.covers_chunk(chunk) {
                     arrivals.push(pull(self, &mut pulled, seg.member, chunk - seg.len));
                 }
@@ -806,7 +806,7 @@ impl<'a, 'c> Builder<'a, 'c> {
         // Phase two: only after every read has landed and parity math is done
         // may the host dispatch the writes — the old contents feed the delta,
         // so nothing can be overwritten while phase one is in flight.
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             let ready = self.command_after(seg.member, seg.len, xor);
             let write = self.dag.add(
                 StepKind::DriveWrite {
@@ -874,7 +874,7 @@ impl<'a, 'c> Builder<'a, 'c> {
             p_readies.push(self.command(pm, 0));
         }
 
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             let m = seg.member;
             if self.healthy(m) {
                 let fetch = self.command(m, seg.len);
@@ -1016,7 +1016,7 @@ impl<'a, 'c> Builder<'a, 'c> {
                 &[arrival],
             ));
         }
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             if self.healthy(seg.member) && !seg.covers_chunk(chunk) {
                 let ready = self.command(seg.member, 0);
                 let read = self.dag.add(
@@ -1059,7 +1059,7 @@ impl<'a, 'c> Builder<'a, 'c> {
 
         // Writes are phase two: the survivors' old chunks feed the parity
         // recompute, so no overwrite may race the pulls.
-        for seg in io.segments.clone() {
+        for seg in io.segments.iter().copied() {
             if !self.healthy(seg.member) {
                 continue;
             }

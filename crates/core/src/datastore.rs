@@ -100,21 +100,36 @@ impl ChunkStore {
     /// Returns the bytes a read of `io` must produce, reconstructing lost
     /// chunks as needed (the §6.1 degraded read, data-plane side).
     pub fn read(&self, io: &StripeIo, failed: &HashSet<usize>) -> Vec<u8> {
-        let needs_reconstruct = io.segments.iter().any(|s| failed.contains(&s.member));
         let mut out = Vec::with_capacity(io.bytes() as usize);
+        self.read_into(&mut out, io, failed);
+        out
+    }
+
+    /// Gathers the bytes a read of `io` must produce into a caller-provided
+    /// buffer (cleared first) — the zero-copy form of [`ChunkStore::read`].
+    /// The healthy path borrows stored chunks directly; only a degraded read
+    /// materializes reconstructed chunks.
+    pub fn read_into(&self, out: &mut Vec<u8>, io: &StripeIo, failed: &HashSet<usize>) {
+        out.clear();
+        out.reserve(io.bytes() as usize);
+        let needs_reconstruct = io.segments.iter().any(|s| failed.contains(&s.member));
         if needs_reconstruct {
             let data = self.data_chunks(io.stripe, failed);
-            for seg in &io.segments {
+            for seg in io.segments.iter() {
                 let chunk = &data[seg.data_index];
                 out.extend_from_slice(&chunk[seg.offset as usize..(seg.offset + seg.len) as usize]);
             }
         } else {
-            for seg in &io.segments {
-                let chunk = self.chunk(io.stripe, seg.member);
-                out.extend_from_slice(&chunk[seg.offset as usize..(seg.offset + seg.len) as usize]);
+            for seg in io.segments.iter() {
+                match self.chunks.get(&(io.stripe, seg.member)) {
+                    Some(chunk) => out.extend_from_slice(
+                        &chunk[seg.offset as usize..(seg.offset + seg.len) as usize],
+                    ),
+                    // Unwritten chunks read as zeros without materializing.
+                    None => out.resize(out.len() + seg.len as usize, 0),
+                }
             }
         }
-        out
     }
 
     /// Applies a stripe write: updates data chunks with `payload` and brings
@@ -138,7 +153,7 @@ impl ChunkStore {
         let old_data = self.data_chunks(stripe, failed);
         let mut new_data = old_data.clone();
         let mut cursor = 0usize;
-        for seg in &io.segments {
+        for seg in io.segments.iter() {
             let dst =
                 &mut new_data[seg.data_index][seg.offset as usize..(seg.offset + seg.len) as usize];
             dst.copy_from_slice(&payload[cursor..cursor + seg.len as usize]);
@@ -147,9 +162,15 @@ impl ChunkStore {
 
         let (new_p, new_q) = self.updated_parity(stripe, io, &old_data, &new_data, mode, failed);
 
-        for seg in &io.segments {
+        // Each segment owns a distinct data chunk, so the new chunks move
+        // into the store rather than being cloned.
+        for seg in io.segments.iter() {
             if !failed.contains(&seg.member) {
-                self.put_chunk(stripe, seg.member, new_data[seg.data_index].clone());
+                self.put_chunk(
+                    stripe,
+                    seg.member,
+                    std::mem::take(&mut new_data[seg.data_index]),
+                );
             }
         }
         let pm = self.layout.p_member(stripe);
@@ -181,12 +202,11 @@ impl ChunkStore {
             RaidLevel::Raid5 => {
                 if use_delta {
                     let mut p = self.chunk(stripe, self.layout.p_member(stripe));
-                    for seg in &io.segments {
+                    for seg in io.segments.iter() {
                         let k = seg.data_index;
-                        draid_ec::xor_into(
-                            &mut p,
-                            &Raid5::partial_delta(&old_data[k], &new_data[k]),
-                        );
+                        // P' = P ⊕ D ⊕ D': two in-place XORs, no delta buffer.
+                        draid_ec::xor_into(&mut p, &old_data[k]);
+                        draid_ec::xor_into(&mut p, &new_data[k]);
                     }
                     (p, None)
                 } else {
@@ -197,16 +217,13 @@ impl ChunkStore {
                 if use_delta {
                     let mut p = self.chunk(stripe, self.layout.p_member(stripe));
                     let mut q = self.chunk(stripe, self.layout.q_member(stripe).expect("raid6"));
-                    for seg in &io.segments {
+                    for seg in io.segments.iter() {
                         let k = seg.data_index;
-                        draid_ec::xor_into(
-                            &mut p,
-                            &Raid5::partial_delta(&old_data[k], &new_data[k]),
-                        );
-                        draid_ec::xor_into(
-                            &mut q,
-                            &Raid6::partial_q_delta(k, &old_data[k], &new_data[k]),
-                        );
+                        draid_ec::xor_into(&mut p, &old_data[k]);
+                        draid_ec::xor_into(&mut p, &new_data[k]);
+                        // q ^= g^k·(D ⊕ D') via two cached-table multiply-
+                        // accumulates, skipping the scaled delta allocation.
+                        Raid6::apply_q_delta(&mut q, k, &old_data[k], &new_data[k]);
                     }
                     (p, Some(q))
                 } else {
@@ -409,8 +426,9 @@ mod tests {
         let failed: HashSet<usize> = [0usize, 1].into();
         let io = &layout.map(0, 4096)[0];
         // Force a reconstructing read with two lost members.
-        let mut io = io.clone();
-        io.segments[0].member = 0;
+        let mut segments = io.segments.to_vec();
+        segments[0].member = 0;
+        let io = StripeIo::new(io.stripe, io.buf_offset, segments);
         store.read(&io, &failed);
     }
 

@@ -44,6 +44,45 @@ pub(crate) struct OpState {
     launched: bool,
 }
 
+/// A tiny free-list of byte buffers backing the op data plane: the
+/// apply-effect scratch space (gathered read bytes, zero payloads for
+/// internal parity ops) is recycled across stripe operations instead of
+/// allocated and freed once per op.
+#[derive(Debug, Default)]
+pub(crate) struct BufPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufPool {
+    /// Buffers kept across ops; excess returns are simply dropped.
+    const MAX_POOLED: usize = 8;
+
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// An empty (length 0) buffer reusing pooled capacity when available.
+    pub fn take(&mut self) -> Vec<u8> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// A zero-filled buffer of length `len`, reusing pooled capacity.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<u8> {
+        let mut buf = self.take();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < Self::MAX_POOLED && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+}
+
 impl OpState {
     pub fn new(gen: u64, user: u64, io: StripeIo, kind: IoKind) -> Self {
         OpState {
@@ -96,6 +135,8 @@ impl ArraySim {
         }
         let (io, kind, retries, force_rcw) = {
             let op = self.ops[idx].as_ref().expect("launch of missing op");
+            // Cheap: the segment list is an `Arc<[Segment]>`, so this clone
+            // is a reference-count bump, not an extent copy.
             (op.io.clone(), op.kind, op.retries, op.force_rcw)
         };
         let stripe = io.stripe;
@@ -369,13 +410,17 @@ impl ArraySim {
         if retry {
             self.stats.retries += 1;
             let gen = self.fresh_gen();
-            let mut next = OpState::new(gen, op.user, op.io.clone(), op.kind);
+            let stripe = op.io.stripe;
+            let holds_lock = op.holds_lock;
+            // The finished op is owned here; its stripe I/O moves into the
+            // retry op instead of being cloned.
+            let mut next = OpState::new(gen, op.user, op.io, op.kind);
             next.retries = op.retries + 1;
-            next.holds_lock = op.holds_lock;
+            next.holds_lock = holds_lock;
             next.force_rcw = op.force_rcw;
             let new_idx = self.alloc_op(next);
-            if op.holds_lock {
-                self.locks.transfer(op.io.stripe, idx, new_idx);
+            if holds_lock {
+                self.locks.transfer(stripe, idx, new_idx);
             }
             // Back off before retrying so short transients clear (§5.4: the
             // host retries only after the op reaches a final state). The
@@ -460,25 +505,34 @@ impl ArraySim {
         }
         // Internal ops (parity resync) have no user record; their writes
         // carry no payload and only refresh parity.
-        let user = self.users.get_mut(&op.user);
         match op.purpose {
             Some(Purpose::Write { mode, .. }) => {
-                let payload: Vec<u8> = match user.and_then(|u| u.io.data.as_ref()) {
+                // The payload handle is `Arc`-backed `Bytes`: cloning it
+                // shares the user's buffer, and the store consumes a borrowed
+                // sub-slice — the op path copies no payload bytes.
+                let payload = self.users.get(&op.user).and_then(|u| u.io.data.clone());
+                match payload {
                     Some(data) => {
                         let lo = op.io.buf_offset as usize;
                         let hi = lo + op.io.bytes() as usize;
-                        data[lo..hi].to_vec()
+                        store.apply_write(&op.io, &data[lo..hi], mode, &effective_faulty);
                     }
-                    None => vec![0u8; op.io.bytes() as usize],
-                };
-                store.apply_write(&op.io, &payload, mode, &effective_faulty);
+                    None => {
+                        let zeros = self.buf_pool.take_zeroed(op.io.bytes() as usize);
+                        store.apply_write(&op.io, &zeros, mode, &effective_faulty);
+                        self.buf_pool.put(zeros);
+                    }
+                }
             }
             Some(Purpose::Read { .. }) => {
-                let bytes = store.read(&op.io, &self.faulty);
+                let mut scratch = self.buf_pool.take();
+                store.read_into(&mut scratch, &op.io, &self.faulty);
+                let user = self.users.get_mut(&op.user);
                 if let Some(buf) = user.and_then(|u| u.read_buf.as_mut()) {
                     let lo = op.io.buf_offset as usize;
-                    buf[lo..lo + bytes.len()].copy_from_slice(&bytes);
+                    buf[lo..lo + scratch.len()].copy_from_slice(&scratch);
                 }
+                self.buf_pool.put(scratch);
             }
             None => {}
         }

@@ -1,6 +1,8 @@
 //! Stripe geometry: mapping logical byte ranges to (stripe, member, offset)
 //! extents with rotating parity, and the per-stripe write-mode decision.
 
+use std::sync::Arc;
+
 use crate::config::{ArrayConfig, RaidLevel};
 
 /// Geometry of a parity-RAID array: width, chunk size, parity rotation.
@@ -38,6 +40,11 @@ impl Segment {
 }
 
 /// The portion of a user I/O that falls on one stripe.
+///
+/// The segment list is a shared `Arc<[Segment]>` handle: an op retry or a
+/// DAG build clones the `StripeIo` with a reference-count bump instead of
+/// copying extents, which keeps the op hot path free of per-stripe
+/// allocations.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StripeIo {
     /// Stripe index.
@@ -45,10 +52,19 @@ pub struct StripeIo {
     /// Offset of this stripe portion within the user I/O's buffer.
     pub buf_offset: u64,
     /// Per-chunk extents, ordered by data index.
-    pub segments: Vec<Segment>,
+    pub segments: Arc<[Segment]>,
 }
 
 impl StripeIo {
+    /// Builds a stripe I/O from its extents.
+    pub fn new(stripe: u64, buf_offset: u64, segments: Vec<Segment>) -> Self {
+        StripeIo {
+            stripe,
+            buf_offset,
+            segments: segments.into(),
+        }
+    }
+
     /// Total bytes of this stripe portion.
     pub fn bytes(&self) -> u64 {
         self.segments.iter().map(|s| s.len).sum()
@@ -185,11 +201,7 @@ impl Layout {
             });
             pos += take;
         }
-        StripeIo {
-            stripe,
-            buf_offset,
-            segments,
-        }
+        StripeIo::new(stripe, buf_offset, segments)
     }
 
     /// Chooses the write mode for a stripe write touching `io.segments`,

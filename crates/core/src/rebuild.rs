@@ -155,16 +155,16 @@ impl ArraySim {
         let spare = r.spare;
 
         let dag = self.build_rebuild_dag(eng.now(), stripe, member, spare);
-        let io = StripeIo {
+        let io = StripeIo::new(
             stripe,
-            buf_offset: 0,
-            segments: vec![Segment {
+            0,
+            vec![Segment {
                 data_index: self.layout.data_index_of(stripe, member).unwrap_or(0),
                 member,
                 offset: 0,
                 len: self.layout.chunk_size(),
             }],
-        };
+        );
         let gen = self.fresh_gen();
         let mut op = OpState::new(gen, 0, io, IoKind::Read);
         op.rebuild_of = Some(member);

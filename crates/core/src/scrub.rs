@@ -104,16 +104,7 @@ impl ArraySim {
 
         let dag = self.build_scrub_dag(stripe);
         let gen = self.fresh_gen();
-        let mut op = OpState::new(
-            gen,
-            0,
-            StripeIo {
-                stripe,
-                buf_offset: 0,
-                segments: Vec::new(),
-            },
-            IoKind::Read,
-        );
+        let mut op = OpState::new(gen, 0, StripeIo::new(stripe, 0, Vec::new()), IoKind::Read);
         op.scrub = true;
         let idx = self.alloc_op(op);
         self.launch_prebuilt(eng, idx, dag);

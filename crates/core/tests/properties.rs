@@ -46,7 +46,7 @@ fn map_partitions_the_byte_range() {
             for win in io.segments.windows(2) {
                 assert!(win[0].data_index < win[1].data_index);
             }
-            for seg in &io.segments {
+            for seg in io.segments.iter() {
                 assert!(seg.offset + seg.len <= layout.chunk_size());
                 assert!(seg.len > 0);
                 assert_eq!(seg.member, layout.data_member(io.stripe, seg.data_index));

@@ -120,7 +120,10 @@ fn product_table(c: u8) -> [u8; 256] {
 /// Multiply-accumulate over a buffer: `acc[i] ^= c * src[i]`.
 ///
 /// This is the workhorse of RAID-6 Q generation and of partial-Q forwarding
-/// (the "other command data" coefficient in the dRAID protocol, §4).
+/// (the "other command data" coefficient in the dRAID protocol, §4). It runs
+/// on the wide [`crate::kernels`] path — eight bytes per step in `u64` lanes
+/// (or a whole SIMD register on x86) — with the per-coefficient tables
+/// served by the process-wide cache, so no call ever rebuilds them.
 ///
 /// # Panics
 ///
@@ -130,6 +133,38 @@ pub fn mul_acc(acc: &mut [u8], src: &[u8], c: u8) {
     match c {
         0 => {}
         1 => crate::xor_into(acc, src),
+        _ => crate::kernels::mul_acc(acc, src, crate::kernels::mul_table(c)),
+    }
+}
+
+/// Scale a buffer in place: `buf[i] = c * buf[i]`, on the wide kernel path.
+pub fn scale(buf: &mut [u8], c: u8) {
+    match c {
+        0 => buf.fill(0),
+        1 => {}
+        _ => crate::kernels::scale(buf, crate::kernels::mul_table(c)),
+    }
+}
+
+/// The seed's byte-at-a-time multiply-accumulate, kept as the scalar
+/// reference: differential tests check the wide kernels against it
+/// bit-for-bit, and the kernel benchmarks report speedup relative to it.
+///
+/// Unlike [`mul_acc`] it rebuilds its 256-entry product table on every call,
+/// exactly as the seed implementation did.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc_ref(acc: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(acc.len(), src.len(), "buffer length mismatch");
+    match c {
+        0 => {}
+        1 => {
+            for (a, &s) in acc.iter_mut().zip(src) {
+                *a ^= s;
+            }
+        }
         _ => {
             let table = product_table(c);
             for (a, &s) in acc.iter_mut().zip(src) {
@@ -139,8 +174,9 @@ pub fn mul_acc(acc: &mut [u8], src: &[u8], c: u8) {
     }
 }
 
-/// Scale a buffer in place: `buf[i] = c * buf[i]`.
-pub fn scale(buf: &mut [u8], c: u8) {
+/// The seed's byte-at-a-time scale, kept as the scalar reference for
+/// differential tests and benchmark baselines.
+pub fn scale_ref(buf: &mut [u8], c: u8) {
     match c {
         0 => buf.fill(0),
         1 => {}

@@ -6,6 +6,10 @@
 //!
 //! * [`gf256`] — arithmetic over GF(2⁸) with the `x⁸+x⁴+x³+x²+1` (0x11D)
 //!   polynomial used by `linux/lib/raid6` and ISA-L.
+//! * [`kernels`] — wide GF(256) kernels (eight bytes per step in `u64`
+//!   lanes, or SSSE3/AVX2 `pshufb` with the `simd` feature), the
+//!   process-wide coefficient-table cache, and the table-free one-pass
+//!   RAID-6 Q syndrome.
 //! * [`xor_into`] / [`xor_of`] — wide XOR kernels (RAID-5 parity, partial
 //!   parity reduction).
 //! * [`Raid5`] — single-parity encode, delta update (read-modify-write), and
@@ -32,10 +36,15 @@
 //! assert_eq!(r2, d2);
 //! ```
 
-#![forbid(unsafe_code)]
+// With the `simd` feature the `kernels::x86` module uses raw SIMD
+// intrinsics (the only unsafe in the crate, behind a runtime CPU check);
+// without it the whole crate forbids unsafe outright.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gf256;
+pub mod kernels;
 mod matrix;
 mod raid5;
 mod raid6;
@@ -46,4 +55,4 @@ pub use matrix::Matrix;
 pub use raid5::Raid5;
 pub use raid6::Raid6;
 pub use rs::{CodecError, ReedSolomon};
-pub use xor::{xor_into, xor_of};
+pub use xor::{xor_into, xor_of, xor_of_into};

@@ -1,6 +1,6 @@
 //! RAID-5 single-parity codec.
 
-use crate::{xor_into, xor_of};
+use crate::{xor_into, xor_of, xor_of_into};
 
 /// RAID-5 parity operations on chunk buffers.
 ///
@@ -25,6 +25,17 @@ impl Raid5 {
     /// ```
     pub fn encode(data: &[&[u8]]) -> Vec<u8> {
         xor_of(data)
+    }
+
+    /// Zero-copy full-stripe encode: writes the parity into `out` instead of
+    /// allocating a fresh vector per stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or any chunk's length differs from
+    /// `out.len()`.
+    pub fn encode_into(out: &mut [u8], data: &[&[u8]]) {
+        xor_of_into(out, data);
     }
 
     /// Read-modify-write parity update: given the old and new contents of one
@@ -61,6 +72,16 @@ impl Raid5 {
     /// Panics if `survivors` is empty or chunks differ in length.
     pub fn reconstruct(survivors: &[&[u8]]) -> Vec<u8> {
         xor_of(survivors)
+    }
+
+    /// Zero-copy reconstruction into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `survivors` is empty or chunk lengths differ from
+    /// `out.len()`.
+    pub fn reconstruct_into(out: &mut [u8], survivors: &[&[u8]]) {
+        xor_of_into(out, survivors);
     }
 
     /// Verifies that a stripe's parity is consistent.

@@ -13,7 +13,8 @@
 //! second SG list, §4 "other command data").
 
 use crate::gf256;
-use crate::{xor_into, xor_of};
+use crate::kernels;
+use crate::{xor_into, xor_of_into};
 
 /// RAID-6 P+Q operations on chunk buffers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -28,16 +29,29 @@ impl Raid6 {
     /// than 255 data chunks (the field's limit).
     pub fn encode(data: &[&[u8]]) -> (Vec<u8>, Vec<u8>) {
         assert!(!data.is_empty(), "stripe needs at least one data chunk");
+        let mut p = vec![0u8; data[0].len()];
+        let mut q = vec![0u8; data[0].len()];
+        Self::encode_into(data, &mut p, &mut q);
+        (p, q)
+    }
+
+    /// Zero-copy full-stripe encode: writes P and Q into caller-provided
+    /// buffers. P is a wide XOR reduction; Q is the table-free one-pass
+    /// Horner syndrome ([`kernels::raid6_q_into`]), so a full-stripe encode
+    /// touches every data byte exactly twice and allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, holds more than 255 chunks, or chunk
+    /// lengths differ from the parity buffers'.
+    pub fn encode_into(data: &[&[u8]], p: &mut [u8], q: &mut [u8]) {
+        assert!(!data.is_empty(), "stripe needs at least one data chunk");
         assert!(
             data.len() <= 255,
             "GF(256) supports at most 255 data chunks"
         );
-        let p = xor_of(data);
-        let mut q = vec![0u8; data[0].len()];
-        for (i, d) in data.iter().enumerate() {
-            gf256::mul_acc(&mut q, d, gf256::exp(i));
-        }
-        (p, q)
+        xor_of_into(p, data);
+        kernels::raid6_q_into(q, data);
     }
 
     /// The partial Q-term contributed by data chunk index `i` whose content
@@ -51,6 +65,20 @@ impl Raid6 {
         xor_into(&mut delta, new);
         gf256::scale(&mut delta, gf256::exp(index));
         delta
+    }
+
+    /// Accumulates the partial Q-term of a changed chunk directly into `q`
+    /// (`q ^= g^i·(old ⊕ new)`) — the zero-copy form of
+    /// [`Raid6::partial_q_delta`]. Two cached-table multiply-accumulates;
+    /// no intermediate delta buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths differ.
+    pub fn apply_q_delta(q: &mut [u8], index: usize, old: &[u8], new: &[u8]) {
+        let c = gf256::exp(index);
+        gf256::mul_acc(q, old, c);
+        gf256::mul_acc(q, new, c);
     }
 
     /// Read-modify-write update of both parities for a single changed chunk.
