@@ -71,7 +71,7 @@ fn main() {
             trace.for_user(1).into_iter().copied().collect();
         // Rebuild the op's DAG (deterministic for the same inputs).
         let io = &array.layout().map(0, IO)[0];
-        let faulty = std::collections::HashSet::new();
+        let faulty = std::collections::BTreeSet::new();
         let nodes: Vec<draid_net::NodeId> = (0..array.config().width)
             .map(|m| array.cluster.server_node(draid_block::ServerId(m)))
             .collect();

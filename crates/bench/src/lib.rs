@@ -25,7 +25,7 @@ mod exp_fio;
 mod exp_misc;
 mod figure;
 pub mod figures;
-mod parallel;
+pub mod parallel;
 mod setup;
 
 pub use figure::{Figure, Point, Series};

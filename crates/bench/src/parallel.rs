@@ -12,7 +12,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Maps `f` over `inputs` on a thread pool, preserving order.
-pub(crate) fn map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+///
+/// Public so the `draid-check` bounded-interleaving harness can stress the
+/// atomic-cursor claiming under injected schedule perturbations.
+pub fn map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,

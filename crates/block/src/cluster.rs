@@ -298,6 +298,20 @@ impl Cluster {
         &mut self.fabric
     }
 
+    /// Checks byte conservation across the whole cluster: every NIC direction
+    /// in the fabric and every drive channel must satisfy
+    /// `offered == served + dropped`. A no-op unless invariants are enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any ledger does not balance.
+    pub fn audit_conservation(&self) {
+        self.fabric.audit_conservation();
+        for s in &self.servers {
+            s.drive.audit_conservation();
+        }
+    }
+
     /// Resets all traffic/busy counters across fabric, drives and CPUs.
     pub fn reset_counters(&mut self) {
         self.fabric.reset_counters();
@@ -363,6 +377,19 @@ mod tests {
         c.cpu_mut(s0).xor(SimTime::ZERO, 1 << 20);
         assert!(c.cpu(host).busy_time() > SimTime::ZERO);
         assert!(c.cpu(s0).busy_time() > c.cpu(host).busy_time());
+    }
+
+    #[test]
+    fn cluster_audit_covers_fabric_and_drives() {
+        let mut c = Cluster::homogeneous(3);
+        let host = c.host_node();
+        let n0 = c.server_node(ServerId(0));
+        c.transfer(SimTime::ZERO, host, n0, 1 << 16);
+        c.drive_mut(ServerId(1)).fail_permanently();
+        assert!(c.drive_write(SimTime::ZERO, ServerId(1), 4096).is_err());
+        c.drive_write(SimTime::ZERO, ServerId(0), 4096).unwrap();
+        c.audit_conservation();
+        assert_eq!(c.drive(ServerId(1)).bytes_dropped(), 4096);
     }
 
     #[test]

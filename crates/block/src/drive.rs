@@ -94,6 +94,10 @@ pub struct Drive {
     slow_factor: f64,
     reads: u64,
     writes: u64,
+    /// Bytes presented to the channel (served + refused), conservation ledger.
+    bytes_offered: u64,
+    /// Bytes refused by a failure window; `offered == served + dropped`.
+    bytes_dropped: u64,
 }
 
 impl Drive {
@@ -107,6 +111,8 @@ impl Drive {
             slow_factor: 1.0,
             reads: 0,
             writes: 0,
+            bytes_offered: 0,
+            bytes_dropped: 0,
         }
     }
 
@@ -169,6 +175,8 @@ impl Drive {
         self.slow_factor = 1.0;
         self.reads = 0;
         self.writes = 0;
+        self.bytes_offered = 0;
+        self.bytes_dropped = 0;
     }
 
     /// Queues a read of `bytes`. Returns the service window whose `end`
@@ -178,7 +186,11 @@ impl Drive {
     ///
     /// [`DriveError`] if the drive is failed or in a transient window.
     pub fn read(&mut self, now: SimTime, bytes: u64) -> Result<Service, DriveError> {
-        self.check(now)?;
+        self.bytes_offered += bytes;
+        if let Err(e) = self.check(now) {
+            self.bytes_dropped += bytes;
+            return Err(e);
+        }
         self.reads += 1;
         let start = self.shape(now, bytes);
         let svc = self
@@ -197,7 +209,11 @@ impl Drive {
     ///
     /// [`DriveError`] if the drive is failed or in a transient window.
     pub fn write(&mut self, now: SimTime, bytes: u64) -> Result<Service, DriveError> {
-        self.check(now)?;
+        self.bytes_offered += bytes;
+        if let Err(e) = self.check(now) {
+            self.bytes_dropped += bytes;
+            return Err(e);
+        }
         self.writes += 1;
         let start = self.shape(now, bytes);
         let svc = self
@@ -250,6 +266,32 @@ impl Drive {
         self.channel.bytes_served()
     }
 
+    /// Bytes presented to the channel (served plus refused by faults).
+    pub fn bytes_offered(&self) -> u64 {
+        self.bytes_offered
+    }
+
+    /// Bytes refused by failure windows.
+    pub fn bytes_dropped(&self) -> u64 {
+        self.bytes_dropped
+    }
+
+    /// Checks the channel's byte-conservation invariant:
+    /// `offered == served + dropped`. A no-op unless invariants are enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ledger does not balance.
+    pub fn audit_conservation(&self) {
+        draid_sim::draid_invariant!(
+            self.bytes_offered == self.channel.bytes_served() + self.bytes_dropped,
+            "drive channel conservation: offered={} served={} dropped={}",
+            self.bytes_offered,
+            self.channel.bytes_served(),
+            self.bytes_dropped
+        );
+    }
+
     /// Cumulative channel busy time.
     pub fn busy_time(&self) -> SimTime {
         self.channel.busy_time()
@@ -260,6 +302,8 @@ impl Drive {
         self.channel.reset_counters();
         self.reads = 0;
         self.writes = 0;
+        self.bytes_offered = 0;
+        self.bytes_dropped = 0;
     }
 }
 
@@ -323,6 +367,22 @@ mod tests {
         assert_eq!(d.write(SimTime::from_secs(1), 512), Err(DriveError::Failed));
         d.replace();
         assert!(d.write(SimTime::from_secs(1), 512).is_ok());
+    }
+
+    #[test]
+    fn conservation_ledger_balances_under_faults() {
+        let mut d = drive();
+        d.read(SimTime::ZERO, 4096).unwrap();
+        d.fail_transiently(SimTime::from_millis(100), SimTime::from_millis(10));
+        assert!(d.write(SimTime::from_millis(101), 1000).is_err());
+        assert!(d.read(SimTime::from_millis(120), 512).is_ok());
+        d.audit_conservation();
+        assert_eq!(d.bytes_offered(), 4096 + 1000 + 512);
+        assert_eq!(d.bytes_dropped(), 1000);
+        assert_eq!(d.bytes_served(), 4096 + 512);
+        d.reset_counters();
+        assert_eq!(d.bytes_offered(), 0);
+        d.audit_conservation();
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Seeded bounded-interleaving concurrency stress.
+//!
+//! Real thread schedules cannot be enumerated from safe code, but they
+//! *can* be perturbed: each run derives per-(seed, index) jitter from a
+//! splitmix64 stream and spends it as spin-loops and yields inside the
+//! worker closure, biasing the OS scheduler into a different interleaving
+//! of `draid_bench::parallel::map`'s atomic-cursor claims per seed. Every
+//! run asserts the library's contract regardless of schedule:
+//!
+//! * `map` returns results **in input order**, each input consumed
+//!   exactly once;
+//! * a shared [`BufPool`] hands out only cleared buffers, never exceeds
+//!   its pooling bound, and survives concurrent take/put cycles.
+//!
+//! Panics on the first violated assertion; the driver maps that to a
+//! failing exit.
+
+use std::sync::Mutex;
+
+use draid_bench::parallel;
+use draid_core::BufPool;
+
+/// Default number of seeds (the CI gate requires at least 64).
+pub const DEFAULT_SEEDS: u64 = 64;
+
+/// Aggregate counters from a stress run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Seeds executed.
+    pub seeds: u64,
+    /// Total `parallel::map` items pushed through order checks.
+    pub mapped_items: u64,
+    /// Total BufPool take/put cycles executed under contention.
+    pub pool_cycles: u64,
+}
+
+/// splitmix64: tiny, seedable, statistically fine for schedule jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Burns a seed-derived amount of CPU and optionally yields, to push the
+/// scheduler toward a different interleaving.
+fn jitter(h: u64) {
+    for _ in 0..(h % 1_500) {
+        std::hint::spin_loop();
+    }
+    if h & 0x8000 != 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs the full harness over `seeds` seeds (use [`DEFAULT_SEEDS`] for
+/// the CI gate). Panics on any contract violation.
+pub fn run(seeds: u64) -> Report {
+    let mut report = Report::default();
+    for seed in 0..seeds {
+        report.mapped_items += stress_map_order(seed);
+        report.pool_cycles += stress_bufpool(seed);
+        report.seeds += 1;
+    }
+    report
+}
+
+/// One seed of order-preservation stress: jittered workers race over the
+/// atomic cursor; the output must still be `f(inputs)` in input order.
+fn stress_map_order(seed: u64) -> u64 {
+    let h = splitmix64(seed);
+    let n = 16 + (h % 97) as usize;
+    let inputs: Vec<u64> = (0..n as u64).collect();
+    let out = parallel::map(inputs, |x| {
+        jitter(splitmix64(seed.wrapping_mul(0x9E37).wrapping_add(x)));
+        x * 31 + seed
+    });
+    let expected: Vec<u64> = (0..n as u64).map(|x| x * 31 + seed).collect();
+    assert_eq!(
+        out, expected,
+        "parallel::map broke order preservation under seed {seed}"
+    );
+    n as u64
+}
+
+/// One seed of BufPool contention: workers take, fill, and return
+/// buffers through a shared pool while jitter reorders their critical
+/// sections. Every take must observe a cleared buffer; the pool must
+/// respect its bound afterwards.
+fn stress_bufpool(seed: u64) -> u64 {
+    let pool = Mutex::new(BufPool::new());
+    let cycles = 48u64;
+    let inputs: Vec<u64> = (0..cycles).collect();
+    parallel::map(inputs, |i| {
+        let h = splitmix64(seed ^ (i << 17));
+        let mut buf = pool.lock().expect("pool lock").take();
+        assert!(
+            buf.is_empty(),
+            "BufPool::take returned a dirty buffer (len {}) under seed {seed}",
+            buf.len()
+        );
+        buf.extend_from_slice(&h.to_le_bytes());
+        jitter(h);
+        assert_eq!(buf[..8], h.to_le_bytes(), "buffer corrupted while held");
+        pool.lock().expect("pool lock").put(buf);
+
+        // Exercise the zeroed-take path under the same contention.
+        let len = 64 + (h % 512) as usize;
+        let z = pool.lock().expect("pool lock").take_zeroed(len);
+        assert_eq!(z.len(), len, "take_zeroed returned wrong length");
+        assert!(
+            z.iter().all(|&b| b == 0),
+            "take_zeroed returned non-zero bytes under seed {seed}"
+        );
+        pool.lock().expect("pool lock").put(z);
+    });
+    let pooled = pool.lock().expect("pool lock").pooled();
+    assert!(
+        pooled <= 8,
+        "pool retained {pooled} buffers, beyond its bound of 8"
+    );
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_few_seeds_pass() {
+        let r = run(4);
+        assert_eq!(r.seeds, 4);
+        assert!(r.mapped_items >= 4 * 16);
+        assert_eq!(r.pool_cycles, 4 * 48);
+    }
+
+    #[test]
+    fn splitmix_streams_differ_by_seed() {
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_ne!(splitmix64(0), 0);
+    }
+}

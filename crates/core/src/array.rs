@@ -8,7 +8,7 @@
 //! failures flow back here, driving retries (§5.4), member fault marking, and
 //! user-visible results.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use draid_block::{Cluster, ServerId};
 use draid_net::NodeId;
@@ -63,7 +63,7 @@ pub struct ArraySim {
     pub(crate) layout: Layout,
     pub(crate) member_nodes: Vec<NodeId>,
     pub(crate) member_servers: Vec<ServerId>,
-    pub(crate) faulty: HashSet<usize>,
+    pub(crate) faulty: BTreeSet<usize>,
     pub(crate) health: HealthMonitor,
     pub(crate) locks: LockTable,
     pub(crate) ops: Vec<Option<OpState>>,
@@ -90,6 +90,9 @@ pub struct ArraySim {
     /// Recycled scratch buffers for the op data plane (see
     /// [`crate::exec::BufPool`]).
     pub(crate) buf_pool: crate::exec::BufPool,
+    /// Ops finished since the last sampled invariant audit (see
+    /// [`ArraySim::audit_invariants`]).
+    pub(crate) ops_since_audit: u64,
 }
 
 impl std::fmt::Debug for ArraySim {
@@ -132,7 +135,7 @@ impl ArraySim {
             layout,
             member_nodes,
             member_servers,
-            faulty: HashSet::new(),
+            faulty: BTreeSet::new(),
             health: HealthMonitor::new(
                 cfg.width,
                 HealthConfig::for_deadline(cfg.op_deadline, cfg.fault_threshold),
@@ -159,6 +162,7 @@ impl ArraySim {
             user_volumes: HashMap::new(),
             fault_mgr: None,
             buf_pool: crate::exec::BufPool::new(),
+            ops_since_audit: 0,
             cfg,
         })
     }
@@ -181,6 +185,19 @@ impl ArraySim {
     /// Whether more members failed than the level tolerates.
     pub fn is_failed(&self) -> bool {
         self.faulty.len() > self.cfg.level.parity_count()
+    }
+
+    /// Runs the runtime invariant checkers on demand: cluster-wide byte
+    /// conservation on every NIC direction and drive channel. The executor
+    /// also samples this automatically every 64 finished ops; call it at the
+    /// end of a scenario for a final full audit. A no-op unless invariants
+    /// are enabled (debug builds or the `strict-invariants` feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a conservation ledger does not balance.
+    pub fn audit_invariants(&self) {
+        self.cluster.audit_conservation();
     }
 
     /// Currently faulty member indices.

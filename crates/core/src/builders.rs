@@ -19,7 +19,7 @@
 //! the same inputs (step indices included), which is what lets
 //! [`crate::trace::critical_path`] re-associate recorded events with steps.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use draid_block::ServerId;
 use draid_net::NodeId;
@@ -42,7 +42,7 @@ pub struct BuildCtx<'a> {
     /// Drive server of each member, indexed by member.
     pub servers: &'a [ServerId],
     /// Members currently marked faulty.
-    pub faulty: &'a HashSet<usize>,
+    pub faulty: &'a BTreeSet<usize>,
     /// Reducer member chosen for degraded reads (§6), if applicable.
     pub reducer: Option<usize>,
 }
@@ -604,7 +604,7 @@ impl<'a, 'c> Builder<'a, 'c> {
         }
         if !rmw {
             // Untouched members contribute their resident chunks.
-            let touched: HashSet<usize> = io.segments.iter().map(|s| s.member).collect();
+            let touched: BTreeSet<usize> = io.segments.iter().map(|s| s.member).collect();
             for k in 0..l.data_chunks() {
                 let m = l.data_member(stripe, k);
                 if touched.contains(&m) {
@@ -769,7 +769,7 @@ impl<'a, 'c> Builder<'a, 'c> {
                 arrivals.push(pull(self, &mut pulled, qm, extent));
             }
         } else {
-            let touched: HashSet<usize> = io.segments.iter().map(|s| s.member).collect();
+            let touched: BTreeSet<usize> = io.segments.iter().map(|s| s.member).collect();
             for k in 0..l.data_chunks() {
                 let m = l.data_member(stripe, k);
                 if !touched.contains(&m) {
@@ -867,7 +867,7 @@ impl<'a, 'c> Builder<'a, 'c> {
             .collect();
 
         let mut contributions: Vec<Vec<(usize, usize)>> = vec![Vec::new(); parities.len()];
-        let touched: HashSet<usize> = io.segments.iter().map(|s| s.member).collect();
+        let touched: BTreeSet<usize> = io.segments.iter().map(|s| s.member).collect();
 
         let mut p_readies = Vec::new();
         for &(pm, _) in &parities {
@@ -992,7 +992,7 @@ impl<'a, 'c> Builder<'a, 'c> {
         let chunk = l.chunk_size();
         let p = l.p_member(stripe);
         let q = l.q_member(stripe);
-        let touched: HashSet<usize> = io.segments.iter().map(|s| s.member).collect();
+        let touched: BTreeSet<usize> = io.segments.iter().map(|s| s.member).collect();
 
         let mut arrivals = Vec::new();
         for k in 0..l.data_chunks() {

@@ -11,7 +11,7 @@
 //!
 //! [`DataMode::Full`]: crate::DataMode::Full
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use draid_ec::{Raid5, Raid6, ReedSolomon};
 
@@ -21,12 +21,15 @@ use crate::layout::{Layout, StripeIo, WriteMode};
 /// Per-array chunk contents keyed by `(stripe, member)`.
 ///
 /// Unwritten chunks read as zeros, like a freshly created (and implicitly
-/// synchronized) array.
+/// synchronized) array. Chunks live in a `BTreeMap` (and failure sets are
+/// `BTreeSet`s) so every iteration — fsck sweeps, rebuild scans — observes a
+/// deterministic order; hash-iteration order leaking into simulation results
+/// would break replayability.
 #[derive(Debug)]
 pub struct ChunkStore {
     layout: Layout,
     codec: ReedSolomon,
-    chunks: HashMap<(u64, usize), Vec<u8>>,
+    chunks: BTreeMap<(u64, usize), Vec<u8>>,
 }
 
 impl ChunkStore {
@@ -35,7 +38,7 @@ impl ChunkStore {
         ChunkStore {
             layout,
             codec: ReedSolomon::new(layout.data_chunks(), layout.level().parity_count()),
-            chunks: HashMap::new(),
+            chunks: BTreeMap::new(),
         }
     }
 
@@ -69,7 +72,7 @@ impl ChunkStore {
     /// # Panics
     ///
     /// Panics if more members failed than the level tolerates.
-    fn data_chunks(&self, stripe: u64, failed: &HashSet<usize>) -> Vec<Vec<u8>> {
+    fn data_chunks(&self, stripe: u64, failed: &BTreeSet<usize>) -> Vec<Vec<u8>> {
         let d = self.layout.data_chunks();
         let p = self.layout.level().parity_count();
         if failed.is_empty() {
@@ -99,7 +102,7 @@ impl ChunkStore {
 
     /// Returns the bytes a read of `io` must produce, reconstructing lost
     /// chunks as needed (the §6.1 degraded read, data-plane side).
-    pub fn read(&self, io: &StripeIo, failed: &HashSet<usize>) -> Vec<u8> {
+    pub fn read(&self, io: &StripeIo, failed: &BTreeSet<usize>) -> Vec<u8> {
         let mut out = Vec::with_capacity(io.bytes() as usize);
         self.read_into(&mut out, io, failed);
         out
@@ -109,7 +112,7 @@ impl ChunkStore {
     /// buffer (cleared first) — the zero-copy form of [`ChunkStore::read`].
     /// The healthy path borrows stored chunks directly; only a degraded read
     /// materializes reconstructed chunks.
-    pub fn read_into(&self, out: &mut Vec<u8>, io: &StripeIo, failed: &HashSet<usize>) {
+    pub fn read_into(&self, out: &mut Vec<u8>, io: &StripeIo, failed: &BTreeSet<usize>) {
         out.clear();
         out.reserve(io.bytes() as usize);
         let needs_reconstruct = io.segments.iter().any(|s| failed.contains(&s.member));
@@ -146,7 +149,7 @@ impl ChunkStore {
         io: &StripeIo,
         payload: &[u8],
         mode: WriteMode,
-        failed: &HashSet<usize>,
+        failed: &BTreeSet<usize>,
     ) {
         assert_eq!(payload.len() as u64, io.bytes(), "payload size mismatch");
         let stripe = io.stripe;
@@ -194,7 +197,7 @@ impl ChunkStore {
         old_data: &[Vec<u8>],
         new_data: &[Vec<u8>],
         mode: WriteMode,
-        failed: &HashSet<usize>,
+        failed: &BTreeSet<usize>,
     ) -> (Vec<u8>, Option<Vec<u8>>) {
         let refs: Vec<&[u8]> = new_data.iter().map(|d| &d[..]).collect();
         let use_delta = mode == WriteMode::ReadModifyWrite && failed.is_empty();
@@ -242,7 +245,7 @@ impl ChunkStore {
     ///
     /// Panics if more members than tolerated are in `failed` (excluding
     /// `member` itself, which is the one being restored).
-    pub fn rebuild_chunk(&mut self, stripe: u64, member: usize, failed: &HashSet<usize>) {
+    pub fn rebuild_chunk(&mut self, stripe: u64, member: usize, failed: &BTreeSet<usize>) {
         let mut effective = failed.clone();
         effective.insert(member);
         let data = self.data_chunks(stripe, &effective);
@@ -285,8 +288,8 @@ impl ChunkStore {
     /// indices (empty = clean). Only meaningful on a non-degraded array —
     /// faulty members' chunks are absent by design.
     pub fn verify_all(&self) -> Vec<u64> {
+        // BTreeMap keys are already sorted by (stripe, member).
         let mut stripes: Vec<u64> = self.chunks.keys().map(|&(s, _)| s).collect();
-        stripes.sort_unstable();
         stripes.dedup();
         stripes
             .into_iter()
@@ -336,7 +339,7 @@ mod tests {
     fn write_then_read_roundtrip() {
         let layout = small_layout(RaidLevel::Raid5);
         let mut store = ChunkStore::new(layout);
-        let none = HashSet::new();
+        let none = BTreeSet::new();
         let io = &layout.map(1000, 6000)[0];
         let data = payload(io.bytes(), 7);
         store.apply_write(io, &data, layout.write_mode(io), &none);
@@ -350,7 +353,7 @@ mod tests {
             let layout = small_layout(level);
             let mut a = ChunkStore::new(layout);
             let mut b = ChunkStore::new(layout);
-            let none = HashSet::new();
+            let none = BTreeSet::new();
             // Pre-populate with a full-stripe write.
             let full = &layout.map(0, layout.stripe_data_bytes())[0];
             let base = payload(full.bytes(), 3);
@@ -372,14 +375,14 @@ mod tests {
     fn degraded_read_returns_written_bytes() {
         let layout = small_layout(RaidLevel::Raid5);
         let mut store = ChunkStore::new(layout);
-        let none = HashSet::new();
+        let none = BTreeSet::new();
         let io = &layout.map(0, 3 * 4096)[0];
         let data = payload(io.bytes(), 5);
         store.apply_write(io, &data, layout.write_mode(io), &none);
         // Fail the member holding data chunk 1.
         let victim = layout.data_member(io.stripe, 1);
         store.drop_member(victim);
-        let failed: HashSet<usize> = [victim].into();
+        let failed: BTreeSet<usize> = [victim].into();
         assert_eq!(store.read(io, &failed), data, "reconstructed read");
     }
 
@@ -389,7 +392,7 @@ mod tests {
         let mut store = ChunkStore::new(layout);
         let victim = layout.data_member(0, 0);
         store.drop_member(victim);
-        let failed: HashSet<usize> = [victim].into();
+        let failed: BTreeSet<usize> = [victim].into();
         // Write to the failed chunk itself: bytes land only in parity.
         let io = &layout.map(0, 4096)[0];
         assert_eq!(io.segments[0].member, victim);
@@ -406,7 +409,7 @@ mod tests {
     fn raid6_survives_two_failures() {
         let layout = small_layout(RaidLevel::Raid6);
         let mut store = ChunkStore::new(layout);
-        let none = HashSet::new();
+        let none = BTreeSet::new();
         let io = &layout.map(0, layout.stripe_data_bytes())[0];
         let data = payload(io.bytes(), 13);
         store.apply_write(io, &data, WriteMode::FullStripe, &none);
@@ -414,7 +417,7 @@ mod tests {
         let v2 = layout.data_member(0, 2);
         store.drop_member(v1);
         store.drop_member(v2);
-        let failed: HashSet<usize> = [v1, v2].into();
+        let failed: BTreeSet<usize> = [v1, v2].into();
         assert_eq!(store.read(io, &failed), data);
     }
 
@@ -423,7 +426,7 @@ mod tests {
     fn raid5_two_failures_panics() {
         let layout = small_layout(RaidLevel::Raid5);
         let store = ChunkStore::new(layout);
-        let failed: HashSet<usize> = [0usize, 1].into();
+        let failed: BTreeSet<usize> = [0usize, 1].into();
         let io = &layout.map(0, 4096)[0];
         // Force a reconstructing read with two lost members.
         let mut segments = io.segments.to_vec();
@@ -437,7 +440,7 @@ mod tests {
         let layout = small_layout(RaidLevel::Raid5);
         let store = ChunkStore::new(layout);
         let io = &layout.map(12345, 100)[0];
-        assert_eq!(store.read(io, &HashSet::new()), vec![0u8; 100]);
+        assert_eq!(store.read(io, &BTreeSet::new()), vec![0u8; 100]);
         assert!(
             store.verify_stripe(io.stripe),
             "all-zero stripe is consistent"

@@ -48,8 +48,11 @@ pub(crate) struct OpState {
 /// apply-effect scratch space (gathered read bytes, zero payloads for
 /// internal parity ops) is recycled across stripe operations instead of
 /// allocated and freed once per op.
+///
+/// Public so the `draid-check` concurrency harness can stress its
+/// take/return discipline directly.
 #[derive(Debug, Default)]
-pub(crate) struct BufPool {
+pub struct BufPool {
     free: Vec<Vec<u8>>,
 }
 
@@ -57,18 +60,25 @@ impl BufPool {
     /// Buffers kept across ops; excess returns are simply dropped.
     const MAX_POOLED: usize = 8;
 
+    /// Creates an empty pool.
     pub fn new() -> Self {
         BufPool::default()
     }
 
-    /// An empty (length 0) buffer reusing pooled capacity when available.
+    /// Number of buffers currently pooled (diagnostic/test aid).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Takes an empty (length 0) buffer, reusing pooled capacity when
+    /// available.
     pub fn take(&mut self) -> Vec<u8> {
         let mut buf = self.free.pop().unwrap_or_default();
         buf.clear();
         buf
     }
 
-    /// A zero-filled buffer of length `len`, reusing pooled capacity.
+    /// Takes a zero-filled buffer of length `len`, reusing pooled capacity.
     pub fn take_zeroed(&mut self, len: usize) -> Vec<u8> {
         let mut buf = self.take();
         buf.resize(len, 0);
@@ -476,6 +486,13 @@ impl ArraySim {
             }
         }
 
+        // Sampled invariant audit: every 64th finished op re-checks
+        // cluster-wide byte conservation. No-op unless invariants are on.
+        self.ops_since_audit += 1;
+        if draid_sim::invariants_enabled() && self.ops_since_audit.is_multiple_of(64) {
+            self.cluster.audit_conservation();
+        }
+
         // Op completions are the fault-management plane's clock: the engine
         // drains its queue, so a self-rescheduling tick would never let a
         // run terminate. Rate limiting lives inside the tick.
@@ -491,7 +508,7 @@ impl ArraySim {
         }
         // A member whose stripe is already rebuilt onto the spare stores
         // writes directly (the member index now maps to the spare drive).
-        let effective_faulty: std::collections::HashSet<usize> = self
+        let effective_faulty: std::collections::BTreeSet<usize> = self
             .faulty
             .iter()
             .copied()
@@ -535,6 +552,25 @@ impl ArraySim {
                 self.buf_pool.put(scratch);
             }
             None => {}
+        }
+
+        // Sampled post-write parity re-verification: every 8th stripe write
+        // on a stripe with no effectively-lost member is immediately checked
+        // against its freshly stored parity. (A stripe with a lost member is
+        // skipped: its dropped chunks read back as zeros by design, and only
+        // parity encodes the data.) No-op unless invariants are on.
+        if draid_sim::invariants_enabled()
+            && effective_faulty.is_empty()
+            && matches!(op.purpose, Some(Purpose::Write { .. }))
+            && op.io.stripe.is_multiple_of(8)
+        {
+            if let Some(store) = &self.store {
+                draid_sim::draid_invariant!(
+                    store.verify_stripe(op.io.stripe),
+                    "post-write parity mismatch on stripe {}",
+                    op.io.stripe
+                );
+            }
         }
     }
 }

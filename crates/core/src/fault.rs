@@ -23,7 +23,7 @@
 //! their scenario up front instead of interleaving injection calls with the
 //! workload loop.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use draid_block::ServerId;
 use draid_net::LinkDir;
@@ -97,7 +97,7 @@ impl ArraySim {
         // Fail-slow sweep: gray members get quarantined (visible via
         // `health()`); declaration stays with the error-evidence path, so a
         // merely slow member never triggers a rebuild by itself.
-        let skip: HashSet<usize> = self.faulty.iter().copied().collect();
+        let skip: BTreeSet<usize> = self.faulty.iter().copied().collect();
         self.health.check_fail_slow(now, &skip);
 
         // Declared failures: draw a spare from the pool and reconstruct.

@@ -18,7 +18,7 @@
 //! A member under reconstruction is `Rebuilding`; completion resets it to
 //! `Healthy` with fresh statistics (it is a different physical drive).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use draid_sim::SimTime;
 
@@ -204,7 +204,7 @@ impl HealthMonitor {
     /// period is quarantined. Members in `skip` (faulty/rebuilding) are
     /// excluded from both the median and the verdicts. Returns the members
     /// newly quarantined by this sweep.
-    pub fn check_fail_slow(&mut self, now: SimTime, skip: &HashSet<usize>) -> Vec<usize> {
+    pub fn check_fail_slow(&mut self, now: SimTime, skip: &BTreeSet<usize>) -> Vec<usize> {
         let mut ewmas: Vec<f64> = self
             .members
             .iter()
@@ -313,7 +313,7 @@ mod tests {
                 h.record_success(m, if m == 3 { slow } else { fast });
             }
         }
-        let none = HashSet::new();
+        let none = BTreeSet::new();
         // First sighting starts the clock but does not quarantine.
         assert!(h.check_fail_slow(SimTime::from_millis(1), &none).is_empty());
         assert_eq!(h.state(3), HealthState::Healthy);

@@ -78,6 +78,7 @@ pub use config::{
 };
 pub use dag::{Dag, Step, StepKind};
 pub use datastore::ChunkStore;
+pub use exec::BufPool;
 pub use fault::{FaultAction, FaultManagerConfig, FaultSchedule};
 pub use health::{HealthConfig, HealthMonitor, HealthState, MemberHealth};
 pub use io::{IoError, IoId, IoKind, IoResult, UserIo};

@@ -6,15 +6,21 @@
 //! normal reads (the SPDK POC behaviour dRAID's lock-free read improves on,
 //! §8/§9.2).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+use draid_sim::draid_invariant;
 
 /// Opaque ticket naming a queued operation (the executor's op slot).
 pub type Ticket = usize;
 
 /// A table of per-stripe FIFO locks.
+///
+/// Stripe queues live in a `BTreeMap` so any iteration (diagnostics, the
+/// [`LockTable::waiting`] gauge) observes stripes in a deterministic order —
+/// hash-map iteration order feeding stats would be a reproducibility bug.
 #[derive(Debug, Default)]
 pub struct LockTable {
-    stripes: HashMap<u64, VecDeque<Ticket>>,
+    stripes: BTreeMap<u64, VecDeque<Ticket>>,
     acquired: u64,
     queued: u64,
 }
@@ -30,6 +36,12 @@ impl LockTable {
     /// will be returned by a future [`LockTable::release`].
     pub fn acquire(&mut self, stripe: u64, ticket: Ticket) -> bool {
         let q = self.stripes.entry(stripe).or_default();
+        draid_invariant!(
+            !q.contains(&ticket),
+            "ticket {} acquired stripe {} twice without release",
+            ticket,
+            stripe
+        );
         q.push_back(ticket);
         if q.len() == 1 {
             self.acquired += 1;
@@ -149,5 +161,13 @@ mod tests {
         t.acquire(1, 10);
         t.acquire(1, 11);
         t.release(1, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquired stripe 1 twice")]
+    fn duplicate_acquire_trips_invariant() {
+        let mut t = LockTable::new();
+        t.acquire(1, 10);
+        t.acquire(1, 10);
     }
 }

@@ -453,7 +453,7 @@ mod path_tests {
 
         // Rebuild the identical DAG the engine used and attribute the trace.
         let io = &array.layout().map(0, 128 * 1024)[0];
-        let faulty = std::collections::HashSet::new();
+        let faulty = std::collections::BTreeSet::new();
         let ctx = crate::BuildCtx {
             cfg: array.config(),
             layout: array.layout(),

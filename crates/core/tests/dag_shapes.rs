@@ -1,7 +1,7 @@
 //! Structural tests of the per-system operation DAGs: the paper's data-path
 //! claims, asserted on the graphs themselves (independent of timing).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use draid_block::ServerId;
 use draid_core::{
@@ -35,7 +35,7 @@ impl Fixture {
         }
     }
 
-    fn ctx<'a>(&'a self, faulty: &'a HashSet<usize>, reducer: Option<usize>) -> BuildCtx<'a> {
+    fn ctx<'a>(&'a self, faulty: &'a BTreeSet<usize>, reducer: Option<usize>) -> BuildCtx<'a> {
         BuildCtx {
             cfg: &self.cfg,
             layout: &self.layout,
@@ -56,7 +56,7 @@ fn draid_rmw_host_sends_only_new_data() {
     // commands) on a partial-stripe write; partial parities flow
     // peer-to-peer.
     let fx = Fixture::new(SystemKind::Draid, RaidLevel::Raid5);
-    let none = HashSet::new();
+    let none = BTreeSet::new();
     let io = &fx.layout.map(0, 128 * KIB)[0];
     let dag = build_dag(
         &fx.ctx(&none, None),
@@ -85,7 +85,7 @@ fn draid_rmw_host_sends_only_new_data() {
 #[test]
 fn centralized_rmw_host_carries_four_copies() {
     let fx = Fixture::new(SystemKind::SpdkRaid, RaidLevel::Raid5);
-    let none = HashSet::new();
+    let none = BTreeSet::new();
     let io = &fx.layout.map(0, 128 * KIB)[0];
     let dag = build_dag(
         &fx.ctx(&none, None),
@@ -103,7 +103,7 @@ fn centralized_rmw_host_carries_four_copies() {
 #[test]
 fn draid_raid6_forwards_partials_to_p_and_q() {
     let fx = Fixture::new(SystemKind::Draid, RaidLevel::Raid6);
-    let none = HashSet::new();
+    let none = BTreeSet::new();
     let io = &fx.layout.map(0, 128 * KIB)[0];
     let dag = build_dag(
         &fx.ctx(&none, None),
@@ -126,7 +126,7 @@ fn draid_raid6_forwards_partials_to_p_and_q() {
 #[test]
 fn draid_rcw_reads_untouched_chunks_remotely() {
     let fx = Fixture::new(SystemKind::Draid, RaidLevel::Raid5);
-    let none = HashSet::new();
+    let none = BTreeSet::new();
     // 2048 KiB = 4 of 7 chunks -> reconstruct write.
     let io = &fx.layout.map(0, 2048 * KIB)[0];
     assert_eq!(fx.layout.write_mode(io), WriteMode::ReconstructWrite);
@@ -153,7 +153,7 @@ fn degraded_read_normal_segments_bypass_reducer() {
     // partials go to the reducer.
     let fx = Fixture::new(SystemKind::Draid, RaidLevel::Raid5);
     let victim = fx.layout.data_member(0, 1);
-    let faulty: HashSet<usize> = [victim].into();
+    let faulty: BTreeSet<usize> = [victim].into();
     let reducer = fx.layout.p_member(0);
     // Read two chunks: one on the failed member, one healthy.
     let io = &fx.layout.map(0, 1024 * KIB)[0];
@@ -189,7 +189,7 @@ fn degraded_read_normal_segments_bypass_reducer() {
 fn centralized_degraded_read_pulls_survivors_to_host() {
     let fx = Fixture::new(SystemKind::SpdkRaid, RaidLevel::Raid5);
     let victim = fx.layout.data_member(0, 0);
-    let faulty: HashSet<usize> = [victim].into();
+    let faulty: BTreeSet<usize> = [victim].into();
     let io = &fx.layout.map(0, 512 * KIB)[0];
     let dag = build_dag(&fx.ctx(&faulty, None), Purpose::Read { degraded: true }, io);
     // Table 1 "Nx": all 7 survivors' extents land on the host.
@@ -201,7 +201,7 @@ fn degraded_write_skips_dead_member_and_keeps_parity() {
     for system in [SystemKind::Draid, SystemKind::SpdkRaid] {
         let fx = Fixture::new(system, RaidLevel::Raid5);
         let victim = fx.layout.data_member(0, 0);
-        let faulty: HashSet<usize> = [victim].into();
+        let faulty: BTreeSet<usize> = [victim].into();
         let io = &fx.layout.map(0, 512 * KIB)[0]; // exactly the dead chunk
         let dag = build_dag(
             &fx.ctx(&faulty, None),
@@ -235,7 +235,7 @@ fn degraded_write_skips_dead_member_and_keeps_parity() {
 fn full_stripe_write_has_no_remote_reads() {
     for system in [SystemKind::LinuxMd, SystemKind::SpdkRaid, SystemKind::Draid] {
         let fx = Fixture::new(system, RaidLevel::Raid5);
-        let none = HashSet::new();
+        let none = BTreeSet::new();
         let io = &fx.layout.map(0, fx.layout.stripe_data_bytes())[0];
         let dag = build_dag(
             &fx.ctx(&none, None),
@@ -267,7 +267,7 @@ fn pipeline_ablation_serializes_and_drops_bdev_callbacks() {
         pipeline: false,
         ..DraidOptions::default()
     };
-    let none = HashSet::new();
+    let none = BTreeSet::new();
     let io = &fx_pipe.layout.map(0, 128 * KIB)[0];
     let purpose = Purpose::Write {
         mode: WriteMode::ReadModifyWrite,
@@ -293,7 +293,7 @@ fn blocking_ablation_adds_barrier() {
         nonblocking: false,
         ..DraidOptions::default()
     };
-    let none = HashSet::new();
+    let none = BTreeSet::new();
     let io = &fx.layout.map(0, 1024 * KIB)[0];
     let dag = build_dag(
         &fx.ctx(&none, None),
@@ -316,7 +316,7 @@ fn p2p_ablation_routes_partials_through_host() {
         peer_to_peer: false,
         ..DraidOptions::default()
     };
-    let none = HashSet::new();
+    let none = BTreeSet::new();
     let io = &fx.layout.map(0, 128 * KIB)[0];
     let dag = build_dag(
         &fx.ctx(&none, None),
@@ -336,7 +336,7 @@ fn raid6_degraded_read_uses_q_when_p_is_lost() {
     let victim_data = fx.layout.data_member(0, 0);
     let victim_p = fx.layout.p_member(0);
     let q = fx.layout.q_member(0).expect("raid6");
-    let faulty: HashSet<usize> = [victim_data, victim_p].into();
+    let faulty: BTreeSet<usize> = [victim_data, victim_p].into();
     let io = &fx.layout.map(0, 512 * KIB)[0];
     let dag = build_dag(
         &fx.ctx(&faulty, Some(q)),

@@ -257,7 +257,8 @@ mod x86 {
     }
 
     pub(super) fn mul_acc(acc: &mut [u8], src: &[u8], t: &MulTable) {
-        // SAFETY: `usable()` verified SSSE3 (and AVX2 is re-checked inside).
+        // SAFETY: `usable()` verified SSSE3 (and AVX2 is re-checked here),
+        // so the `#[target_feature]` callee's ISA requirement holds.
         unsafe {
             if std::arch::is_x86_feature_detected!("avx2") {
                 mul_acc_avx2(acc, src, t);
@@ -279,80 +280,125 @@ mod x86 {
     }
 
     /// Splits `x` into per-lane nibble indices and shuffles both tables:
-    /// one 32-lane GF multiply.
-    #[inline(always)]
-    unsafe fn mul256(lo: __m256i, hi: __m256i, mask: __m256i, x: __m256i) -> __m256i {
+    /// one 32-lane GF multiply. Safe to call from any context that has
+    /// AVX2 statically enabled (target-feature 1.1 rules).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn mul256(lo: __m256i, hi: __m256i, mask: __m256i, x: __m256i) -> __m256i {
         let lo_n = _mm256_and_si256(x, mask);
         let hi_n = _mm256_and_si256(_mm256_srli_epi64::<4>(x), mask);
         _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n), _mm256_shuffle_epi8(hi, hi_n))
     }
 
-    #[inline(always)]
-    unsafe fn mul128(lo: __m128i, hi: __m128i, mask: __m128i, x: __m128i) -> __m128i {
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    fn mul128(lo: __m128i, hi: __m128i, mask: __m128i, x: __m128i) -> __m128i {
         let lo_n = _mm_and_si128(x, mask);
         let hi_n = _mm_and_si128(_mm_srli_epi64::<4>(x), mask);
         _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n), _mm_shuffle_epi8(hi, hi_n))
     }
 
     #[target_feature(enable = "avx2")]
-    unsafe fn mul_acc_avx2(acc: &mut [u8], src: &[u8], t: &MulTable) {
-        let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast()));
-        let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast()));
+    fn mul_acc_avx2(acc: &mut [u8], src: &[u8], t: &MulTable) {
+        // SAFETY: `t.lo`/`t.hi` are 16-byte arrays; the unaligned 128-bit
+        // loads stay in bounds.
+        let (lo, hi) = unsafe {
+            (
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())),
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())),
+            )
+        };
         let mask = _mm256_set1_epi8(0x0F);
         let wide = acc.len() / 32 * 32;
         let mut i = 0;
         while i < wide {
-            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
-            let a = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
-            let r = _mm256_xor_si256(a, mul256(lo, hi, mask, s));
-            _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), r);
+            // SAFETY: `i + 32 <= wide <= acc.len() == src.len()` (the public
+            // entry point asserts equal lengths), so every unaligned 256-bit
+            // load/store stays in bounds.
+            unsafe {
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let a = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+                let r = _mm256_xor_si256(a, mul256(lo, hi, mask, s));
+                _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), r);
+            }
             i += 32;
         }
         super::mul_acc_portable(&mut acc[wide..], &src[wide..], t);
     }
 
     #[target_feature(enable = "ssse3")]
-    unsafe fn mul_acc_ssse3(acc: &mut [u8], src: &[u8], t: &MulTable) {
-        let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
-        let hi = _mm_loadu_si128(t.hi.as_ptr().cast());
+    fn mul_acc_ssse3(acc: &mut [u8], src: &[u8], t: &MulTable) {
+        // SAFETY: `t.lo`/`t.hi` are 16-byte arrays; the unaligned 128-bit
+        // loads stay in bounds.
+        let (lo, hi) = unsafe {
+            (
+                _mm_loadu_si128(t.lo.as_ptr().cast()),
+                _mm_loadu_si128(t.hi.as_ptr().cast()),
+            )
+        };
         let mask = _mm_set1_epi8(0x0F);
         let wide = acc.len() / 16 * 16;
         let mut i = 0;
         while i < wide {
-            let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
-            let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
-            let r = _mm_xor_si128(a, mul128(lo, hi, mask, s));
-            _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), r);
+            // SAFETY: `i + 16 <= wide <= acc.len() == src.len()` (the public
+            // entry point asserts equal lengths), so every unaligned 128-bit
+            // load/store stays in bounds.
+            unsafe {
+                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+                let r = _mm_xor_si128(a, mul128(lo, hi, mask, s));
+                _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), r);
+            }
             i += 16;
         }
         super::mul_acc_portable(&mut acc[wide..], &src[wide..], t);
     }
 
     #[target_feature(enable = "avx2")]
-    unsafe fn scale_avx2(buf: &mut [u8], t: &MulTable) {
-        let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast()));
-        let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast()));
+    fn scale_avx2(buf: &mut [u8], t: &MulTable) {
+        // SAFETY: `t.lo`/`t.hi` are 16-byte arrays; the unaligned 128-bit
+        // loads stay in bounds.
+        let (lo, hi) = unsafe {
+            (
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())),
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())),
+            )
+        };
         let mask = _mm256_set1_epi8(0x0F);
         let wide = buf.len() / 32 * 32;
         let mut i = 0;
         while i < wide {
-            let b = _mm256_loadu_si256(buf.as_ptr().add(i).cast());
-            _mm256_storeu_si256(buf.as_mut_ptr().add(i).cast(), mul256(lo, hi, mask, b));
+            // SAFETY: `i + 32 <= wide <= buf.len()`, so the unaligned
+            // 256-bit load/store stays in bounds.
+            unsafe {
+                let b = _mm256_loadu_si256(buf.as_ptr().add(i).cast());
+                _mm256_storeu_si256(buf.as_mut_ptr().add(i).cast(), mul256(lo, hi, mask, b));
+            }
             i += 32;
         }
         super::scale_portable(&mut buf[wide..], t);
     }
 
     #[target_feature(enable = "ssse3")]
-    unsafe fn scale_ssse3(buf: &mut [u8], t: &MulTable) {
-        let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
-        let hi = _mm_loadu_si128(t.hi.as_ptr().cast());
+    fn scale_ssse3(buf: &mut [u8], t: &MulTable) {
+        // SAFETY: `t.lo`/`t.hi` are 16-byte arrays; the unaligned 128-bit
+        // loads stay in bounds.
+        let (lo, hi) = unsafe {
+            (
+                _mm_loadu_si128(t.lo.as_ptr().cast()),
+                _mm_loadu_si128(t.hi.as_ptr().cast()),
+            )
+        };
         let mask = _mm_set1_epi8(0x0F);
         let wide = buf.len() / 16 * 16;
         let mut i = 0;
         while i < wide {
-            let b = _mm_loadu_si128(buf.as_ptr().add(i).cast());
-            _mm_storeu_si128(buf.as_mut_ptr().add(i).cast(), mul128(lo, hi, mask, b));
+            // SAFETY: `i + 16 <= wide <= buf.len()`, so the unaligned
+            // 128-bit load/store stays in bounds.
+            unsafe {
+                let b = _mm_loadu_si128(buf.as_ptr().add(i).cast());
+                _mm_storeu_si128(buf.as_mut_ptr().add(i).cast(), mul128(lo, hi, mask, b));
+            }
             i += 16;
         }
         super::scale_portable(&mut buf[wide..], t);

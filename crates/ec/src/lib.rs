@@ -41,6 +41,7 @@
 // without it the whole crate forbids unsafe outright.
 #![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod gf256;

@@ -78,6 +78,16 @@ impl LinkState {
     }
 }
 
+/// Byte-conservation ledger for one NIC direction: every byte presented to
+/// the direction is either served by its rate resource or dropped by a fault,
+/// so `offered == served + dropped` at all times (the `draid_invariant!`
+/// checked by [`Fabric::audit_conservation`]).
+#[derive(Debug, Default)]
+struct DirLedger {
+    offered: u64,
+    dropped: u64,
+}
+
 #[derive(Debug)]
 struct Nic {
     spec: NicSpec,
@@ -86,6 +96,8 @@ struct Nic {
     connections: usize,
     egress_link: LinkState,
     ingress_link: LinkState,
+    egress_ledger: DirLedger,
+    ingress_ledger: DirLedger,
 }
 
 #[derive(Debug)]
@@ -180,6 +192,8 @@ impl FabricBuilder {
                 connections: 0,
                 egress_link: LinkState::default(),
                 ingress_link: LinkState::default(),
+                egress_ledger: DirLedger::default(),
+                ingress_ledger: DirLedger::default(),
             });
         }
         self.nodes.push(Node {
@@ -303,10 +317,16 @@ impl Fabric {
         bytes: u64,
     ) -> Result<Service, LinkError> {
         let c = self.connections[conn.0];
+        // Conservation ledger: the sender's egress direction is offered the
+        // payload the moment the verb is posted; a refused transfer drops the
+        // whole payload on that ledger (nothing ever reaches a rate server).
+        self.nics[c.from_nic].egress_ledger.offered += bytes;
         if self.nics[c.from_nic].egress_link.is_down(now) {
+            self.nics[c.from_nic].egress_ledger.dropped += bytes;
             return Err(LinkError { node: c.from_node });
         }
         if self.nics[c.to_nic].ingress_link.is_down(now) {
+            self.nics[c.from_nic].egress_ledger.dropped += bytes;
             return Err(LinkError { node: c.to_node });
         }
         let (eg_spec, in_spec) = (self.nics[c.from_nic].spec, self.nics[c.to_nic].spec);
@@ -343,6 +363,7 @@ impl Fabric {
         let in_rate = in_spec
             .rate
             .scaled(self.nics[c.to_nic].ingress_link.rate_factor(arrive));
+        self.nics[c.to_nic].ingress_ledger.offered += bytes.max(1);
         let ing = self.nics[c.to_nic]
             .ingress
             .serve_at_rate(arrive, bytes.max(1), in_rate);
@@ -484,11 +505,71 @@ impl Fabric {
             .unwrap_or(SimTime::ZERO)
     }
 
+    /// Bytes a node's links dropped by refusing transfers (fault injection),
+    /// per direction. With `LinkDir::Egress` this counts refusals blamed on
+    /// either endpoint: the payload never left the sender, so it lands on the
+    /// sender's egress ledger.
+    pub fn bytes_dropped(&self, node: NodeId, dir: LinkDir) -> u64 {
+        self.nodes[node.0]
+            .nics
+            .iter()
+            .map(|&n| match dir {
+                LinkDir::Egress => self.nics[n].egress_ledger.dropped,
+                LinkDir::Ingress => self.nics[n].ingress_ledger.dropped,
+            })
+            .sum()
+    }
+
+    /// Bytes offered to a node's links (served + dropped), per direction.
+    pub fn bytes_offered(&self, node: NodeId, dir: LinkDir) -> u64 {
+        self.nodes[node.0]
+            .nics
+            .iter()
+            .map(|&n| match dir {
+                LinkDir::Egress => self.nics[n].egress_ledger.offered,
+                LinkDir::Ingress => self.nics[n].ingress_ledger.offered,
+            })
+            .sum()
+    }
+
+    /// Checks the byte-conservation invariant on every NIC direction:
+    /// `offered == served + dropped`. A no-op unless invariants are enabled
+    /// (debug builds or the `strict-invariants` feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a ledger does not balance — that means a code path served
+    /// or refused traffic without keeping the ledger, a determinism and
+    /// accounting bug.
+    pub fn audit_conservation(&self) {
+        for (i, nic) in self.nics.iter().enumerate() {
+            draid_sim::draid_invariant!(
+                nic.egress_ledger.offered == nic.egress.bytes_served() + nic.egress_ledger.dropped,
+                "NIC {} egress conservation: offered={} served={} dropped={}",
+                i,
+                nic.egress_ledger.offered,
+                nic.egress.bytes_served(),
+                nic.egress_ledger.dropped
+            );
+            draid_sim::draid_invariant!(
+                nic.ingress_ledger.offered
+                    == nic.ingress.bytes_served() + nic.ingress_ledger.dropped,
+                "NIC {} ingress conservation: offered={} served={} dropped={}",
+                i,
+                nic.ingress_ledger.offered,
+                nic.ingress.bytes_served(),
+                nic.ingress_ledger.dropped
+            );
+        }
+    }
+
     /// Resets every NIC's traffic counters (between warm-up and measurement).
     pub fn reset_counters(&mut self) {
         for nic in &mut self.nics {
             nic.egress.reset_counters();
             nic.ingress.reset_counters();
+            nic.egress_ledger = DirLedger::default();
+            nic.ingress_ledger = DirLedger::default();
         }
     }
 }
@@ -586,6 +667,32 @@ mod tests {
         f.set_link_down(NodeId(1));
         let err = f.try_transfer(SimTime::ZERO, conn, 4096).unwrap_err();
         assert_eq!(err.node, NodeId(1));
+    }
+
+    #[test]
+    fn conservation_ledger_balances_under_faults() {
+        let (mut f, conn) = two_node_fabric(8.0);
+        f.transfer(SimTime::ZERO, conn, 4096);
+        f.set_link_down(NodeId(1));
+        assert!(f.try_transfer(SimTime::ZERO, conn, 1000).is_err());
+        f.set_link_up(NodeId(1));
+        f.set_link_down(NodeId(0));
+        assert!(f.try_transfer(SimTime::ZERO, conn, 500).is_err());
+        f.set_link_up(NodeId(0));
+        f.transfer(SimTime::from_millis(1), conn, 100);
+        // offered = served + dropped on every direction.
+        f.audit_conservation();
+        assert_eq!(
+            f.bytes_offered(NodeId(0), LinkDir::Egress),
+            4096 + 1500 + 100
+        );
+        assert_eq!(f.bytes_dropped(NodeId(0), LinkDir::Egress), 1500);
+        assert_eq!(f.bytes_sent(NodeId(0)), 4196);
+        assert_eq!(f.bytes_offered(NodeId(1), LinkDir::Ingress), 4196);
+        assert_eq!(f.bytes_dropped(NodeId(1), LinkDir::Ingress), 0);
+        f.reset_counters();
+        assert_eq!(f.bytes_offered(NodeId(0), LinkDir::Egress), 0);
+        f.audit_conservation();
     }
 
     #[test]

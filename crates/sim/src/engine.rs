@@ -172,7 +172,12 @@ impl<W> Engine<W> {
                 break;
             }
             let entry = self.queue.pop().expect("peeked entry vanished");
-            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            crate::draid_invariant!(
+                entry.time >= self.now,
+                "event queue went backwards: now={}, popped={}",
+                self.now,
+                entry.time
+            );
             self.now = entry.time;
             self.stats.events_fired += 1;
             (entry.event)(world, self);

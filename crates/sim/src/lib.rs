@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod invariant;
 mod metrics;
 mod rate;
 mod rng;
 mod time;
 
 pub use engine::{Engine, EngineStats};
+pub use invariant::invariants_enabled;
 pub use metrics::{Counter, Histogram};
 pub use rate::{ByteRate, RateResource, Service};
 pub use rng::DetRng;
