@@ -1,0 +1,46 @@
+//! Bottleneck-attribution report for a reference RAID-6 scenario.
+//!
+//! ```text
+//! cargo run --release -p draid-bench --bin report            # aligned text
+//! cargo run --release -p draid-bench --bin report -- --json  # machine-readable
+//! cargo run --release -p draid-bench --bin report -- --prometheus
+//! cargo run --release -p draid-bench --bin report -- --quick # short CI smoke
+//! ```
+//!
+//! `--json` output validates against `crates/bench/schema/report.schema.json`.
+
+use draid_bench::{run_report, ReportConfig};
+
+fn main() {
+    let mut cfg = ReportConfig::reference();
+    let mut format = Format::Text;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => format = Format::Json,
+            "--prometheus" => format = Format::Prometheus,
+            "--text" => format = Format::Text,
+            "--quick" => cfg = ReportConfig::quick(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: report [--json | --prometheus | --text] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = run_report(&cfg);
+    match format {
+        Format::Text => print!("{}", report.to_text()),
+        Format::Json => println!("{}", report.to_json()),
+        Format::Prometheus => print!("{}", report.to_prometheus()),
+    }
+    if !report.reconciled() {
+        eprintln!("error: byte-conservation ledgers do not balance");
+        std::process::exit(1);
+    }
+}
+
+enum Format {
+    Text,
+    Json,
+    Prometheus,
+}

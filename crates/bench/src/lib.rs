@@ -10,6 +10,10 @@
 //! `table1`, `ablation`); `all_figures` runs the whole evaluation and emits a
 //! Markdown report. Criterion micro-benchmarks live in `benches/`.
 //!
+//! The `report` binary is the observability plane's front end: it runs a
+//! reference scenario and attributes the bottleneck per phase, with JSON,
+//! aligned-text and Prometheus outputs (see [`report`]).
+//!
 //! ## Example
 //!
 //! ```no_run
@@ -25,8 +29,11 @@ mod exp_fio;
 mod exp_misc;
 mod figure;
 pub mod figures;
+pub mod json;
 pub mod parallel;
+pub mod report;
 mod setup;
 
 pub use figure::{Figure, Point, Series};
+pub use report::{run_report, BottleneckReport, ReportConfig};
 pub use setup::{build_array, build_hetero_array, Scenario};

@@ -1,0 +1,78 @@
+//! The report's JSON output must parse and validate against the checked-in
+//! schema, and its totals must reconcile with the conservation ledgers.
+
+use draid_bench::json::{self, Json};
+use draid_bench::{run_report, ReportConfig};
+
+const SCHEMA: &str = include_str!("../schema/report.schema.json");
+
+#[test]
+fn report_json_validates_against_schema() {
+    let report = run_report(&ReportConfig::quick());
+    let doc = json::parse(&report.to_json()).expect("report JSON parses");
+    let schema = json::parse(SCHEMA).expect("schema parses");
+    json::validate(&schema, &doc).expect("report matches schema");
+}
+
+#[test]
+fn report_totals_reconcile_with_ledgers() {
+    let report = run_report(&ReportConfig::quick());
+    let doc = json::parse(&report.to_json()).expect("report JSON parses");
+    assert_eq!(doc.get("reconciled").and_then(Json::as_bool), Some(true));
+    let ledgers = doc
+        .get("ledgers")
+        .and_then(Json::as_arr)
+        .expect("ledgers array");
+    // 1 host + 8 servers: 2 NIC directions each, plus 8 drive channels.
+    assert_eq!(ledgers.len(), 9 * 2 + 8);
+    for row in ledgers {
+        let offered = row.get("offered").and_then(Json::as_num).expect("offered");
+        let served = row.get("served").and_then(Json::as_num).expect("served");
+        let dropped = row.get("dropped").and_then(Json::as_num).expect("dropped");
+        assert_eq!(
+            offered,
+            served + dropped,
+            "ledger {:?} does not balance",
+            row.get("resource")
+        );
+        assert_eq!(row.get("balanced").and_then(Json::as_bool), Some(true));
+    }
+    // The written user bytes all land on drives: the drive channels must
+    // together have served at least the user payload (plus parity).
+    let drive_served: f64 = ledgers
+        .iter()
+        .filter(|r| {
+            r.get("resource")
+                .and_then(Json::as_str)
+                .is_some_and(|s| s.starts_with("drive:"))
+        })
+        .filter_map(|r| r.get("served").and_then(Json::as_num))
+        .sum();
+    let bytes_written = doc
+        .get("totals")
+        .and_then(|t| t.get("bytes_written"))
+        .and_then(Json::as_num)
+        .expect("totals.bytes_written");
+    assert!(
+        drive_served >= bytes_written,
+        "drives served {drive_served} < user writes {bytes_written}"
+    );
+}
+
+#[test]
+fn utilization_is_clamped_in_json_output() {
+    let report = run_report(&ReportConfig::quick());
+    let doc = json::parse(&report.to_json()).expect("report JSON parses");
+    for section in ["utilization", "bottlenecks"] {
+        for row in doc.get(section).and_then(Json::as_arr).expect(section) {
+            let u = row
+                .get("utilization")
+                .and_then(Json::as_num)
+                .expect("utilization");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "{section}: utilization {u} out of [0, 1]"
+            );
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use draid_net::{ConnId, Fabric, FabricBuilder, NicSpec, NodeId};
+use draid_net::{ConnId, Fabric, FabricBuilder, LinkDir, NicSpec, NodeId};
 use draid_sim::{Service, SimTime};
 
 use crate::{Cpu, CpuSpec, Drive, DriveError, DriveSpec};
@@ -312,13 +312,45 @@ impl Cluster {
         }
     }
 
-    /// Resets all traffic/busy counters across fabric, drives and CPUs.
-    pub fn reset_counters(&mut self) {
-        self.fabric.reset_counters();
-        self.host_cpu.reset_counters();
+    /// Resets all traffic/busy counters across fabric, drives and CPUs at
+    /// measurement-window start `now`; work straddling the boundary keeps
+    /// its time-prorated in-window share on every resource.
+    pub fn reset_counters(&mut self, now: SimTime) {
+        self.fabric.reset_counters(now);
+        self.host_cpu.reset_counters(now);
         for s in &mut self.servers {
-            s.drive.reset_counters();
-            s.cpu.reset_counters();
+            s.drive.reset_counters(now);
+            s.cpu.reset_counters(now);
+        }
+    }
+
+    /// Samples the clamped elapsed busy time of every contended resource —
+    /// each node's NIC directions, each server's drive channel, each CPU —
+    /// into `timeline` at instant `at`, under stable series names:
+    /// `net:<node>:egress`, `net:<node>:ingress`, `drive:<node>`,
+    /// `cpu:<node>`. Call at fixed bucket boundaries to build the
+    /// observability plane's utilization timeline.
+    pub fn sample_busy(&self, timeline: &mut draid_sim::UtilizationTimeline, at: SimTime) {
+        let mut nodes = vec![(self.host_node, None)];
+        for s in &self.servers {
+            nodes.push((s.node, Some(&s.drive)));
+        }
+        for (node, drive) in nodes {
+            let name = self.fabric.node_name(node);
+            timeline.observe(
+                &format!("net:{name}:egress"),
+                at,
+                self.fabric.busy_elapsed(node, LinkDir::Egress, at),
+            );
+            timeline.observe(
+                &format!("net:{name}:ingress"),
+                at,
+                self.fabric.busy_elapsed(node, LinkDir::Ingress, at),
+            );
+            timeline.observe(&format!("cpu:{name}"), at, self.cpu(node).busy_elapsed(at));
+            if let Some(drive) = drive {
+                timeline.observe(&format!("drive:{name}"), at, drive.busy_elapsed(at));
+            }
         }
     }
 }
@@ -399,9 +431,31 @@ mod tests {
         let n0 = c.server_node(ServerId(0));
         c.transfer(SimTime::ZERO, host, n0, 1 << 20);
         c.drive_write(SimTime::ZERO, ServerId(0), 1 << 20).unwrap();
-        c.reset_counters();
+        c.reset_counters(SimTime::from_secs(1));
         assert_eq!(c.fabric().bytes_sent(host), 0);
         assert_eq!(c.drive(ServerId(0)).bytes_served(), 0);
+    }
+
+    #[test]
+    fn sample_busy_feeds_named_timeline_series() {
+        let mut c = Cluster::homogeneous(2);
+        let host = c.host_node();
+        let n0 = c.server_node(ServerId(0));
+        let mut tl = draid_sim::UtilizationTimeline::new(SimTime::ZERO);
+        c.sample_busy(&mut tl, SimTime::ZERO);
+        c.transfer(SimTime::ZERO, host, n0, 1 << 20);
+        c.drive_write(SimTime::ZERO, ServerId(0), 1 << 20).unwrap();
+        c.sample_busy(&mut tl, SimTime::from_millis(1));
+        let names: Vec<&str> = tl.names().collect();
+        assert!(names.contains(&"net:host:egress"), "series: {names:?}");
+        assert!(names.iter().any(|n| n.starts_with("drive:")));
+        assert!(names.iter().any(|n| n.starts_with("cpu:")));
+        for name in &names {
+            for b in tl.buckets(name) {
+                assert!(b.utilization() <= 1.0, "{name} over 100%");
+            }
+        }
+        assert!(tl.total_busy("net:host:egress") > SimTime::ZERO);
     }
 
     #[test]

@@ -88,20 +88,27 @@ impl Cpu {
         self.core.serve_fixed(now, duration)
     }
 
-    /// Cumulative busy time.
+    /// Cumulative busy time charged (demand, counts queued work in full at
+    /// submit). Use [`Cpu::busy_elapsed`] for wall-clock-clamped accounting.
     pub fn busy_time(&self) -> SimTime {
         self.core.busy_time()
     }
 
-    /// Fraction of `[0, now]` this core was busy — the §7 "dRAID uses <25 %
-    /// of the CPU cycles" check.
+    /// Busy time actually elapsed by `at` — clamped to the sample instant.
+    pub fn busy_elapsed(&self, at: SimTime) -> SimTime {
+        self.core.busy_elapsed(at)
+    }
+
+    /// Busy fraction of the current measurement window, clamped to `now` —
+    /// the §7 "dRAID uses <25 % of the CPU cycles" check. Always in `[0, 1]`.
     pub fn utilization(&self, now: SimTime) -> f64 {
         self.core.utilization(now)
     }
 
-    /// Resets accounting counters.
-    pub fn reset_counters(&mut self) {
-        self.core.reset_counters();
+    /// Resets accounting counters at measurement-window start `now`; work
+    /// straddling the boundary keeps its in-window share.
+    pub fn reset_counters(&mut self, now: SimTime) {
+        self.core.reset_counters(now);
     }
 }
 

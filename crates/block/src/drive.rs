@@ -192,10 +192,10 @@ impl Drive {
             return Err(e);
         }
         self.reads += 1;
-        let start = self.shape(now, bytes);
-        let svc = self
-            .channel
-            .serve_at_rate(start, bytes, self.effective(self.spec.read_rate));
+        let release = self.shape(now, bytes);
+        let svc =
+            self.channel
+                .serve_not_before(now, release, bytes, self.effective(self.spec.read_rate));
         Ok(Service {
             start: svc.start,
             end: svc.end + self.stretch(self.spec.read_latency),
@@ -215,10 +215,13 @@ impl Drive {
             return Err(e);
         }
         self.writes += 1;
-        let start = self.shape(now, bytes);
-        let svc = self
-            .channel
-            .serve_at_rate(start, bytes, self.effective(self.spec.write_rate));
+        let release = self.shape(now, bytes);
+        let svc = self.channel.serve_not_before(
+            now,
+            release,
+            bytes,
+            self.effective(self.spec.write_rate),
+        );
         Ok(Service {
             start: svc.start,
             end: svc.end + self.stretch(self.spec.write_latency),
@@ -292,17 +295,34 @@ impl Drive {
         );
     }
 
-    /// Cumulative channel busy time.
+    /// Cumulative channel busy time charged (demand, counts queued service
+    /// in full at submit). Use [`Drive::busy_elapsed`] for wall-clock-clamped
+    /// utilization accounting.
     pub fn busy_time(&self) -> SimTime {
         self.channel.busy_time()
     }
 
-    /// Resets traffic counters (not health or queue state).
-    pub fn reset_counters(&mut self) {
-        self.channel.reset_counters();
+    /// Channel busy time actually elapsed by `at` — clamped to the sample
+    /// instant so utilization derived from it never exceeds 1.0.
+    pub fn busy_elapsed(&self, at: SimTime) -> SimTime {
+        self.channel.busy_elapsed(at)
+    }
+
+    /// Busy fraction of the current measurement window, clamped to `now`
+    /// (always in `[0, 1]`).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.channel.utilization(now)
+    }
+
+    /// Resets traffic counters (not health or queue state) at
+    /// measurement-window start `now`. An I/O straddling the boundary keeps
+    /// its time-prorated in-window share, and the conservation ledger is
+    /// re-seeded to match so `offered == served + dropped` keeps holding.
+    pub fn reset_counters(&mut self, now: SimTime) {
+        self.channel.reset_counters(now);
         self.reads = 0;
         self.writes = 0;
-        self.bytes_offered = 0;
+        self.bytes_offered = self.channel.bytes_served();
         self.bytes_dropped = 0;
     }
 }
@@ -380,9 +400,42 @@ mod tests {
         assert_eq!(d.bytes_offered(), 4096 + 1000 + 512);
         assert_eq!(d.bytes_dropped(), 1000);
         assert_eq!(d.bytes_served(), 4096 + 512);
-        d.reset_counters();
+        d.reset_counters(SimTime::from_secs(1));
         assert_eq!(d.bytes_offered(), 0);
         d.audit_conservation();
+    }
+
+    #[test]
+    fn reset_mid_io_keeps_ledger_balanced_and_prorates() {
+        let mut d = drive(); // 1 MB/s write rate
+        d.write(SimTime::ZERO, 1_000_000).unwrap(); // channel busy [0, 1s)
+        d.reset_counters(SimTime::from_millis(250));
+        d.audit_conservation();
+        // 75 % of the I/O lands in the measurement window.
+        assert_eq!(d.bytes_served(), 750_000);
+        assert_eq!(d.bytes_offered(), 750_000);
+        assert_eq!(d.busy_time(), SimTime::from_millis(750));
+        assert_eq!(
+            d.busy_elapsed(SimTime::from_millis(500)),
+            SimTime::from_millis(250)
+        );
+    }
+
+    #[test]
+    fn qos_shaped_io_does_not_inflate_elapsed_busy() {
+        let mut d = Drive::new(DriveSpec::dell_ent_nvme());
+        d.set_qos(Some(crate::TokenBucket::new(
+            ByteRate::from_mb_per_sec(100.0),
+            128 * 1024,
+        )));
+        // Burst far beyond the bucket: service runs are released far into
+        // the future; elapsed busy sampled "now" must not include them.
+        for _ in 0..100 {
+            d.write(SimTime::ZERO, 128 * 1024).unwrap();
+        }
+        let at = SimTime::from_millis(1);
+        assert!(d.busy_elapsed(at) <= at);
+        assert!(d.utilization(at) <= 1.0);
     }
 
     #[test]

@@ -5,19 +5,23 @@
 //! transients, a fail-slow episode, link degradation and link flaps over
 //! a seeded read/write workload — rendered to a canonical text artifact
 //! covering user-visible results, array statistics, latency histograms,
-//! engine counters, per-node fabric ledgers, per-drive byte ledgers and
-//! the full step trace. Run twice with the same seed, the artifact must
+//! engine counters, per-node fabric ledgers, per-drive byte ledgers, the
+//! full step trace (with each step's queue/service split), the windowed
+//! utilization timeline, a bucketed-latency cross-section and a rendered
+//! metrics registry. Run twice with the same seed, the artifact must
 //! match **byte-for-byte**; any divergence means hidden nondeterminism
 //! (hash-order iteration, wall-clock reads, allocation-dependent
 //! scheduling) has leaked into the simulation.
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 use bytes::Bytes;
 use draid_block::Cluster;
 use draid_core::{ArrayConfig, ArraySim, DataMode, FaultSchedule, RaidLevel, SystemKind, UserIo};
 use draid_net::LinkDir;
-use draid_sim::{DetRng, Engine, SimTime};
+use draid_sim::{DetRng, Engine, Histogram, MetricsRegistry, SimTime, UtilizationTimeline};
 
 const KIB: u64 = 1024;
 
@@ -124,6 +128,17 @@ pub fn artifact(seed: u64) -> String {
             w.submit(eng, UserIo::read(off, len));
         });
     }
+    // Sample every resource's clamped elapsed-busy time at fixed 1 ms
+    // boundaries, building the observability plane's utilization timeline
+    // alongside the workload and faults.
+    let timeline = Rc::new(RefCell::new(UtilizationTimeline::new(SimTime::ZERO)));
+    for ms in 0..=13u64 {
+        let tl = Rc::clone(&timeline);
+        engine.schedule_at(SimTime::from_millis(ms), move |w: &mut ArraySim, eng| {
+            w.cluster.sample_busy(&mut tl.borrow_mut(), eng.now());
+        });
+    }
+
     reference_faults().install(&mut engine);
     engine.run(&mut array);
 
@@ -230,17 +245,72 @@ pub fn artifact(seed: u64) -> String {
         tracer.dropped()
     );
     for e in tracer.events() {
+        assert_eq!(
+            e.queue() + e.service(),
+            e.span(),
+            "trace span must split exactly into queue + service"
+        );
         let _ = writeln!(
             w,
-            "  t user {} op {} step {} class {} issued {} completed {}",
+            "  t user {} op {} step {} class {} issued {} started {} completed {}",
             e.user,
             e.op,
             e.step,
             draid_core::trace::StepClass::of(&e.kind).label(),
             e.issued.as_nanos(),
+            e.started.as_nanos(),
             e.completed.as_nanos()
         );
     }
+
+    // Utilization timeline: per-series bucket busy times. Each bucket is
+    // bounded by its width (utilization can never exceed 1.0) and the busy
+    // sum equals the clamped elapsed busy over the sampled span.
+    let tl = timeline.borrow();
+    let _ = writeln!(w, "timeline series {}", tl.names().count());
+    for name in tl.names() {
+        for b in tl.buckets(name) {
+            assert!(
+                b.busy <= b.width,
+                "{name}: bucket busy {} exceeds width {}",
+                b.busy,
+                b.width
+            );
+        }
+        let buckets: Vec<u64> = tl.buckets(name).iter().map(|b| b.busy.as_nanos()).collect();
+        let _ = writeln!(
+            w,
+            "  tl {name} total_busy_ns {} buckets {buckets:?}",
+            tl.total_busy(name).as_nanos()
+        );
+    }
+
+    // Bucketed (HDR-style) latency cross-section over the completed I/Os.
+    let mut lat = Histogram::bucketed();
+    for r in &results {
+        lat.record(r.latency());
+    }
+    let ls = lat.summary();
+    let _ = writeln!(
+        w,
+        "bucketed_latency n {} mean_ns {} p50_ns {} p99_ns {} min_ns {} max_ns {}",
+        ls.n,
+        ls.mean.as_nanos(),
+        ls.p50.as_nanos(),
+        ls.p99.as_nanos(),
+        ls.min.as_nanos(),
+        ls.max.as_nanos()
+    );
+
+    // Metrics registry rendered through the Prometheus text exporter.
+    let mut reg = MetricsRegistry::new();
+    reg.counter_add("draid_reads_total", array.stats.reads);
+    reg.counter_add("draid_writes_total", array.stats.writes);
+    reg.counter_add("draid_bytes_read_total", array.stats.bytes_read);
+    reg.counter_add("draid_bytes_written_total", array.stats.bytes_written);
+    reg.counter_add("draid_retries_total", array.stats.retries);
+    *reg.histogram_mut("draid_io_latency_ns") = lat;
+    let _ = write!(w, "{}", reg.render_prometheus());
     out
 }
 

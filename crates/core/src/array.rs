@@ -588,10 +588,11 @@ impl ArraySim {
     }
 
     /// Resets measurement counters (stats + cluster resources) at the end of
-    /// a warm-up phase.
-    pub fn reset_measurement(&mut self) {
+    /// a warm-up phase. `now` marks the measurement-window start: resource
+    /// work straddling the boundary keeps only its in-window share.
+    pub fn reset_measurement(&mut self, now: SimTime) {
         self.stats.reset();
-        self.cluster.reset_counters();
+        self.cluster.reset_counters(now);
     }
 
     /// One past the highest user-I/O id issued so far (diagnostics).

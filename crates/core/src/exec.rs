@@ -265,10 +265,12 @@ impl ArraySim {
             let op = self.ops[idx].as_ref().expect("step of missing op");
             (op.dag.step(sid).kind, op.gen)
         };
-        let end = match kind {
+        // Each arm yields (service start, completion): `now..start` is the
+        // step's resource queueing, `start..end` its service time.
+        let (started, end) = match kind {
             StepKind::Transfer { from, to, bytes } => {
                 match self.cluster.try_transfer(now, from, to, bytes) {
-                    Ok(svc) => svc.end,
+                    Ok(svc) => (svc.start, svc.end),
                     Err(e) => {
                         // A dead link surfaces like a member error when the
                         // lost endpoint is an array member's target; losing
@@ -290,7 +292,7 @@ impl ArraySim {
                         if let Some(m) = self.member_of(server) {
                             self.note_member_success(m, svc.latency_from(now));
                         }
-                        svc.end
+                        (svc.start, svc.end)
                     }
                     Err(_) => {
                         let m = self.member_of(server).unwrap_or(usize::MAX);
@@ -305,7 +307,7 @@ impl ArraySim {
                         if let Some(m) = self.member_of(server) {
                             self.note_member_success(m, svc.latency_from(now));
                         }
-                        svc.end
+                        (svc.start, svc.end)
                     }
                     Err(_) => {
                         let m = self.member_of(server).unwrap_or(usize::MAX);
@@ -314,14 +316,24 @@ impl ArraySim {
                     }
                 }
             }
-            StepKind::Xor { node, bytes } => self.cluster.cpu_mut(node).xor(now, bytes).end,
-            StepKind::GfMul { node, bytes } => self.cluster.cpu_mut(node).gf_mul(now, bytes).end,
-            StepKind::PerIo { node } => self.cluster.cpu_mut(node).per_io(now).end,
-            StepKind::CoreBusy { node, duration } => {
-                self.cluster.cpu_mut(node).busy_for(now, duration).end
+            StepKind::Xor { node, bytes } => {
+                let svc = self.cluster.cpu_mut(node).xor(now, bytes);
+                (svc.start, svc.end)
             }
-            StepKind::Delay { duration } => now + duration,
-            StepKind::Join => now,
+            StepKind::GfMul { node, bytes } => {
+                let svc = self.cluster.cpu_mut(node).gf_mul(now, bytes);
+                (svc.start, svc.end)
+            }
+            StepKind::PerIo { node } => {
+                let svc = self.cluster.cpu_mut(node).per_io(now);
+                (svc.start, svc.end)
+            }
+            StepKind::CoreBusy { node, duration } => {
+                let svc = self.cluster.cpu_mut(node).busy_for(now, duration);
+                (svc.start, svc.end)
+            }
+            StepKind::Delay { duration } => (now, now + duration),
+            StepKind::Join => (now, now),
         };
         if let Some(tracer) = &mut self.tracer {
             let user = self.ops[idx].as_ref().map(|o| o.user).unwrap_or(0);
@@ -331,6 +343,7 @@ impl ArraySim {
                 step: sid,
                 kind,
                 issued: now,
+                started,
                 completed: end,
             });
         }

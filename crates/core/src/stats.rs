@@ -68,14 +68,15 @@ impl ArrayStats {
         }
     }
 
-    /// Mean latency over all completed I/Os.
+    /// Mean latency over all completed I/Os, computed from the exact
+    /// nanosecond sums (recombining the per-histogram truncated means would
+    /// compound rounding).
     pub fn mean_latency(&self) -> SimTime {
         let n = self.read_latency.len() + self.write_latency.len();
         if n == 0 {
             return SimTime::ZERO;
         }
-        let total = self.read_latency.mean().as_nanos() as u128 * self.read_latency.len() as u128
-            + self.write_latency.mean().as_nanos() as u128 * self.write_latency.len() as u128;
+        let total = self.read_latency.sum_nanos() + self.write_latency.sum_nanos();
         SimTime::from_nanos((total / n as u128) as u64)
     }
 
@@ -109,5 +110,20 @@ mod tests {
         assert_eq!(s.mean_latency(), SimTime::from_nanos(233_333));
         s.reset();
         assert_eq!(s.mean_latency(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn mean_latency_exact_not_recombined_truncated_means() {
+        // Reads sum to 11ns (truncated mean 3), writes to 7ns (truncated
+        // mean 2). Recombining truncated means gives (3*3 + 2*3)/6 = 2ns;
+        // the exact sum gives 18/6 = 3ns.
+        let mut s = ArrayStats::new();
+        for ns in [1u64, 2, 8] {
+            s.read_latency.record(SimTime::from_nanos(ns));
+        }
+        for ns in [1u64, 1, 5] {
+            s.write_latency.record(SimTime::from_nanos(ns));
+        }
+        assert_eq!(s.mean_latency(), SimTime::from_nanos(3));
     }
 }

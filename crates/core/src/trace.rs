@@ -57,14 +57,29 @@ pub struct TraceEvent {
     pub kind: StepKind,
     /// When the step was issued.
     pub issued: SimTime,
+    /// When the step's resource actually started serving it (the start of
+    /// the [`draid_sim::Service`] window; equals `issued` for steps with no
+    /// contended resource). `issued..started` is queueing, `started..
+    /// completed` is service.
+    pub started: SimTime,
     /// When the step completed.
     pub completed: SimTime,
 }
 
 impl TraceEvent {
-    /// Issue-to-completion span (includes resource queueing).
+    /// Issue-to-completion span (queueing + service).
     pub fn span(&self) -> SimTime {
         self.completed.saturating_sub(self.issued)
+    }
+
+    /// Time spent waiting for the resource (issue to service start).
+    pub fn queue(&self) -> SimTime {
+        self.started.saturating_sub(self.issued)
+    }
+
+    /// Time spent being served (service start to completion).
+    pub fn service(&self) -> SimTime {
+        self.completed.saturating_sub(self.started)
     }
 }
 
@@ -74,8 +89,12 @@ pub struct ClassBreakdown {
     /// Number of steps.
     pub steps: u64,
     /// Total issue-to-completion time (overlapping steps both count —
-    /// this measures demand, not wall time).
+    /// this measures demand, not wall time). Always `queue + service`.
     pub total_span: SimTime,
+    /// Portion of `total_span` spent waiting for the resource.
+    pub queue: SimTime,
+    /// Portion of `total_span` spent being served.
+    pub service: SimTime,
     /// Total bytes moved/processed.
     pub bytes: u64,
 }
@@ -148,6 +167,8 @@ impl Tracer {
                 {
                     agg.steps += 1;
                     agg.total_span += e.span();
+                    agg.queue += e.queue();
+                    agg.service += e.service();
                     agg.bytes += step_bytes(&e.kind);
                 }
                 (class, agg)
@@ -166,10 +187,12 @@ impl Tracer {
         for (class, agg) in self.breakdown() {
             if agg.steps > 0 {
                 out.push_str(&format!(
-                    "  {:<8} steps={:<6} span={:<12} bytes={}\n",
+                    "  {:<8} steps={:<6} span={:<12} queue={:<12} service={:<12} bytes={}\n",
                     class.label(),
                     agg.steps,
                     agg.total_span.to_string(),
+                    agg.queue.to_string(),
+                    agg.service.to_string(),
                     agg.bytes
                 ));
             }
@@ -187,16 +210,32 @@ impl Tracer {
 /// Latency attribution along one operation's critical path.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PathBreakdown {
-    /// End-to-end span of the critical path.
+    /// End-to-end span of the critical path. Always `queue + service`.
     pub total: SimTime,
-    /// Time attributed to each resource class along the path.
+    /// Portion of `total` spent waiting in resource queues.
+    pub queue: SimTime,
+    /// Portion of `total` spent being served.
+    pub service: SimTime,
+    /// Time attributed to each resource class along the path
+    /// (queueing + service per step).
     pub per_class: Vec<(StepClass, SimTime)>,
+    /// Queueing time attributed to each resource class along the path.
+    pub per_class_queue: Vec<(StepClass, SimTime)>,
 }
 
 impl PathBreakdown {
-    /// Time attributed to one class.
+    /// Time attributed to one class (queueing + service).
     pub fn class(&self, class: StepClass) -> SimTime {
         self.per_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, t)| *t)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Queueing time attributed to one class.
+    pub fn class_queue(&self, class: StepClass) -> SimTime {
+        self.per_class_queue
             .iter()
             .find(|(c, _)| *c == class)
             .map(|(_, t)| *t)
@@ -217,50 +256,71 @@ impl PathBreakdown {
 /// partial-stripe write sits in drive queues vs. the fabric vs. parity math.
 pub fn critical_path(dag: &crate::dag::Dag, events: &[TraceEvent]) -> Option<PathBreakdown> {
     let n = dag.len();
-    let mut issued = vec![None; n];
-    let mut completed = vec![None; n];
+    let mut times = vec![None; n];
     for e in events {
         if e.step < n {
-            issued[e.step] = Some(e.issued);
-            completed[e.step] = Some(e.completed);
+            times[e.step] = Some((e.issued, e.started, e.completed));
         }
     }
-    if issued.iter().any(Option::is_none) {
+    if times.iter().any(Option::is_none) {
         return None;
     }
-    let issued: Vec<SimTime> = issued.into_iter().map(|t| t.expect("checked")).collect();
-    let completed: Vec<SimTime> = completed.into_iter().map(|t| t.expect("checked")).collect();
+    let times: Vec<(SimTime, SimTime, SimTime)> =
+        times.into_iter().map(|t| t.expect("checked")).collect();
+    let completed = |i: usize| times[i].2;
 
     // Start from the op's last finisher and walk gating dependencies back.
-    let mut cur = (0..n).max_by_key(|&i| completed[i])?;
-    let mut per_class = vec![
-        (StepClass::Network, SimTime::ZERO),
-        (StepClass::Drive, SimTime::ZERO),
-        (StepClass::Cpu, SimTime::ZERO),
-        (StepClass::Control, SimTime::ZERO),
-    ];
+    let mut cur = (0..n).max_by_key(|&i| completed(i))?;
+    let last = cur;
+    let zero_classes = || {
+        vec![
+            (StepClass::Network, SimTime::ZERO),
+            (StepClass::Drive, SimTime::ZERO),
+            (StepClass::Cpu, SimTime::ZERO),
+            (StepClass::Control, SimTime::ZERO),
+        ]
+    };
+    let mut per_class = zero_classes();
+    let mut per_class_queue = zero_classes();
+    let mut queue = SimTime::ZERO;
+    let mut service = SimTime::ZERO;
     let start_of_path;
     loop {
-        let span = completed[cur].saturating_sub(issued[cur]);
+        let (issued, started, done) = times[cur];
+        let step_queue = started.saturating_sub(issued);
+        let step_service = done.saturating_sub(started);
+        queue += step_queue;
+        service += step_service;
         let class = StepClass::of(&dag.step(cur).kind);
         for (c, t) in &mut per_class {
             if *c == class {
-                *t += span;
+                *t += step_queue + step_service;
+            }
+        }
+        for (c, t) in &mut per_class_queue {
+            if *c == class {
+                *t += step_queue;
             }
         }
         let deps = &dag.step(cur).deps;
         if deps.is_empty() {
-            start_of_path = issued[cur];
+            start_of_path = issued;
             break;
         }
         // The gating dependency: the one finishing last (== this issue time).
         cur = *deps
             .iter()
-            .max_by_key(|&&d| completed[d])
+            .max_by_key(|&&d| completed(d))
             .expect("non-empty deps");
     }
-    let total = completed[(0..n).max_by_key(|&i| completed[i])?].saturating_sub(start_of_path);
-    Some(PathBreakdown { total, per_class })
+    let total = completed(last).saturating_sub(start_of_path);
+    Some(PathBreakdown {
+        total,
+        queue,
+        service,
+        per_class,
+        per_class_queue,
+    })
 }
 
 fn step_bytes(kind: &StepKind) -> u64 {
@@ -286,6 +346,8 @@ mod tests {
             step: 0,
             kind,
             issued: SimTime::from_micros(us0),
+            // Halfway point: splits each span evenly into queue and service.
+            started: SimTime::from_micros(us0 + (us1 - us0) / 2),
             completed: SimTime::from_micros(us1),
         }
     }
@@ -352,6 +414,9 @@ mod tests {
         assert_eq!(net.steps, 2);
         assert_eq!(net.bytes, 150);
         assert_eq!(net.total_span, SimTime::from_micros(14));
+        assert_eq!(net.queue, SimTime::from_micros(7));
+        assert_eq!(net.service, SimTime::from_micros(7));
+        assert_eq!(net.queue + net.service, net.total_span);
         let drive = bd
             .iter()
             .find(|(c, _)| *c == StepClass::Drive)
@@ -401,6 +466,7 @@ mod path_tests {
             step,
             kind,
             issued: SimTime::from_micros(issued_us),
+            started: SimTime::from_micros(issued_us),
             completed: SimTime::from_micros(completed_us),
         }
     }
@@ -425,6 +491,13 @@ mod path_tests {
         assert_eq!(path.class(StepClass::Network), SimTime::from_micros(10));
         assert_eq!(path.class(StepClass::Drive), SimTime::from_micros(30));
         assert_eq!(path.class(StepClass::Control), SimTime::ZERO);
+        // Contiguous gating path: queue + service == end-to-end latency.
+        assert_eq!(path.queue + path.service, path.total);
+        assert_eq!(
+            path.service,
+            SimTime::from_micros(40),
+            "started == issued here"
+        );
     }
 
     #[test]

@@ -283,7 +283,7 @@ fn draid_degraded_read_host_traffic_is_single_copy() {
         let mut array = ArraySim::new(cluster, cfg).expect("valid");
         let mut eng = Engine::new();
         array.fail_member(0);
-        array.cluster.reset_counters();
+        array.cluster.reset_counters(eng.now());
         for s in 0..16u64 {
             // Read exactly the chunk that lives on the dead member.
             let stripe_bytes = array.layout().stripe_data_bytes();

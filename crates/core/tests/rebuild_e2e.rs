@@ -95,7 +95,7 @@ fn rebuild_keeps_host_nic_idle() {
     let stripes = 16u64;
     fill(&mut array, &mut eng, stripes, 4);
     array.fail_member(0);
-    array.cluster.reset_counters();
+    array.cluster.reset_counters(eng.now());
 
     array.start_rebuild(&mut eng, 0, ServerId(5), stripes, 4);
     eng.run(&mut array);

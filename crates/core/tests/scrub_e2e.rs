@@ -63,7 +63,7 @@ fn scrub_finds_latent_corruption() {
 fn scrub_data_path_is_peer_to_peer() {
     let (mut array, mut eng) = make();
     fill(&mut array, &mut eng, 16);
-    array.cluster.reset_counters();
+    array.cluster.reset_counters(eng.now());
     array.start_scrub(&mut eng, 16, 4);
     eng.run(&mut array);
     let host = array.cluster.host_node();

@@ -493,6 +493,22 @@ impl Fabric {
             .fold(SimTime::ZERO, |a, b| a + b)
     }
 
+    /// Elapsed busy time of a node's NICs by `at`, per direction — clamped to
+    /// the sample instant (service scheduled beyond `at` is excluded), so
+    /// utilization derived from successive samples never exceeds 1.0. This is
+    /// what the observability timeline samples; [`Fabric::egress_busy`] keeps
+    /// reporting charged demand for the §6.2 reducer selection.
+    pub fn busy_elapsed(&self, node: NodeId, dir: LinkDir, at: SimTime) -> SimTime {
+        self.nodes[node.0]
+            .nics
+            .iter()
+            .map(|&n| match dir {
+                LinkDir::Egress => self.nics[n].egress.busy_elapsed(at),
+                LinkDir::Ingress => self.nics[n].ingress.busy_elapsed(at),
+            })
+            .fold(SimTime::ZERO, |a, b| a + b)
+    }
+
     /// Earliest time a node's least-busy egress NIC frees up — a liveness
     /// signal used by the bandwidth-aware reducer selection to estimate
     /// available bandwidth (§6.2).
@@ -563,13 +579,28 @@ impl Fabric {
         }
     }
 
-    /// Resets every NIC's traffic counters (between warm-up and measurement).
-    pub fn reset_counters(&mut self) {
+    /// Resets every NIC's and rack uplink's traffic counters at
+    /// measurement-window start `now` (between warm-up and measurement). A
+    /// transfer straddling the boundary keeps its in-window prorated share
+    /// (see [`RateResource::reset_counters`]); the direction ledgers are
+    /// re-seeded from the post-reset served bytes so `offered == served +
+    /// dropped` keeps holding across the boundary.
+    pub fn reset_counters(&mut self, now: SimTime) {
         for nic in &mut self.nics {
-            nic.egress.reset_counters();
-            nic.ingress.reset_counters();
-            nic.egress_ledger = DirLedger::default();
-            nic.ingress_ledger = DirLedger::default();
+            nic.egress.reset_counters(now);
+            nic.ingress.reset_counters(now);
+            nic.egress_ledger = DirLedger {
+                offered: nic.egress.bytes_served(),
+                dropped: 0,
+            };
+            nic.ingress_ledger = DirLedger {
+                offered: nic.ingress.bytes_served(),
+                dropped: 0,
+            };
+        }
+        for rack in &mut self.racks {
+            rack.up.reset_counters(now);
+            rack.down.reset_counters(now);
         }
     }
 }
@@ -650,7 +681,7 @@ mod tests {
         assert_eq!(f.bytes_sent(NodeId(0)), 8192);
         assert_eq!(f.bytes_received(NodeId(1)), 8192);
         assert_eq!(f.bytes_sent(NodeId(1)), 0);
-        f.reset_counters();
+        f.reset_counters(SimTime::from_secs(1));
         assert_eq!(f.bytes_sent(NodeId(0)), 0);
     }
 
@@ -690,9 +721,21 @@ mod tests {
         assert_eq!(f.bytes_sent(NodeId(0)), 4196);
         assert_eq!(f.bytes_offered(NodeId(1), LinkDir::Ingress), 4196);
         assert_eq!(f.bytes_dropped(NodeId(1), LinkDir::Ingress), 0);
-        f.reset_counters();
+        f.reset_counters(SimTime::from_secs(1));
         assert_eq!(f.bytes_offered(NodeId(0), LinkDir::Egress), 0);
         f.audit_conservation();
+
+        // A reset in the middle of an in-flight transfer keeps the ledger
+        // balanced: the straddling portion stays attributed to the window.
+        f.transfer(SimTime::from_secs(2), conn, 1_000_000); // ~1 ms service
+        f.reset_counters(SimTime::from_secs(2) + SimTime::from_micros(500));
+        f.audit_conservation();
+        let kept = f.bytes_offered(NodeId(0), LinkDir::Egress);
+        assert!(
+            (1..1_000_000).contains(&kept),
+            "straddling transfer prorated into the window, got {kept}"
+        );
+        assert_eq!(kept, f.bytes_sent(NodeId(0)));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! FIFO fluid rate servers — the resource model for NICs, drives and cores.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::SimTime;
@@ -140,9 +141,28 @@ impl Service {
 pub struct RateResource {
     rate: ByteRate,
     next_free: SimTime,
-    busy: SimTime,
-    bytes_served: u64,
+    /// Busy time of service runs already folded out of `tail` (every folded
+    /// run ended at or before some submission instant, hence lies entirely in
+    /// the past of any later sample).
+    busy_folded: SimTime,
+    bytes_folded: u64,
+    /// Pending and in-flight service runs in chronological order. Contiguous
+    /// runs are merged, so a saturated resource holds a single entry and the
+    /// deque length is bounded by the number of idle gaps among outstanding
+    /// requests.
+    tail: VecDeque<BusyRun>,
     requests: u64,
+    /// Start of the current measurement window (set by
+    /// [`RateResource::reset_counters`]).
+    window_start: SimTime,
+}
+
+/// A maximal contiguous span of scheduled service on a [`RateResource`].
+#[derive(Clone, Copy, Debug)]
+struct BusyRun {
+    start: SimTime,
+    end: SimTime,
+    bytes: u64,
 }
 
 impl RateResource {
@@ -151,9 +171,11 @@ impl RateResource {
         RateResource {
             rate,
             next_free: SimTime::ZERO,
-            busy: SimTime::ZERO,
-            bytes_served: 0,
+            busy_folded: SimTime::ZERO,
+            bytes_folded: 0,
+            tail: VecDeque::new(),
             requests: 0,
+            window_start: SimTime::ZERO,
         }
     }
 
@@ -167,9 +189,13 @@ impl RateResource {
         self.next_free
     }
 
-    /// Total bytes served so far (traffic accounting for Table 1).
+    /// Total bytes charged to this measurement window so far (traffic
+    /// accounting for Table 1). Like [`RateResource::busy_time`] this counts
+    /// queued work in full at submit time; a service straddling a
+    /// [`RateResource::reset_counters`] boundary contributes only its
+    /// time-prorated in-window share.
     pub fn bytes_served(&self) -> u64 {
-        self.bytes_served
+        self.bytes_folded + self.tail.iter().map(|r| r.bytes).sum::<u64>()
     }
 
     /// Number of requests served so far.
@@ -177,18 +203,51 @@ impl RateResource {
         self.requests
     }
 
-    /// Cumulative busy time, for utilization reporting.
+    /// Cumulative busy time *charged* (demand), including service scheduled
+    /// beyond the current instant. Use [`RateResource::busy_elapsed`] for
+    /// wall-clock-clamped utilization accounting.
     pub fn busy_time(&self) -> SimTime {
-        self.busy
+        self.busy_folded
+            + self
+                .tail
+                .iter()
+                .map(|r| r.end - r.start)
+                .fold(SimTime::ZERO, |a, b| a + b)
     }
 
-    /// Fraction of `[0, now]` the resource spent busy.
+    /// Busy time that has actually elapsed by `at`: the measure of scheduled
+    /// service intersected with `[window_start, at)`. Between two samples
+    /// `t1 <= t2` the increment is at most `t2 - t1`, so utilization derived
+    /// from this can never exceed 1.0.
+    ///
+    /// `at` must not precede an earlier submission instant (simulated time is
+    /// monotone), otherwise already-folded runs may be over-counted.
+    pub fn busy_elapsed(&self, at: SimTime) -> SimTime {
+        let mut busy = self.busy_folded;
+        for run in &self.tail {
+            if run.start >= at {
+                break;
+            }
+            busy += run.end.min(at) - run.start;
+        }
+        busy
+    }
+
+    /// Fraction of the current measurement window `[window_start, now]` the
+    /// resource spent busy, clamped to the sample instant: service scheduled
+    /// beyond `now` is not counted, so the result is always in `[0, 1]`.
     pub fn utilization(&self, now: SimTime) -> f64 {
-        if now == SimTime::ZERO {
+        let elapsed = now.saturating_sub(self.window_start);
+        if elapsed == SimTime::ZERO {
             0.0
         } else {
-            self.busy.as_secs_f64() / now.as_secs_f64()
+            self.busy_elapsed(now).as_secs_f64() / elapsed.as_secs_f64()
         }
+    }
+
+    /// Start of the current measurement window.
+    pub fn window_start(&self) -> SimTime {
+        self.window_start
     }
 
     /// Queues `bytes` at the default rate. See [`RateResource::serve_at_rate`].
@@ -203,13 +262,30 @@ impl RateResource {
     ///
     /// Panics if `rate` is zero.
     pub fn serve_at_rate(&mut self, now: SimTime, bytes: u64, rate: ByteRate) -> Service {
-        let start = self.next_free.max(now);
+        self.serve_not_before(now, now, bytes, rate)
+    }
+
+    /// Queues `bytes` submitted at `now` but not eligible to start before
+    /// `earliest` (QoS shaping releases the I/O in the future). `now` is the
+    /// accounting instant — it must be the true submission time so that
+    /// elapsed-busy bookkeeping never folds service scheduled beyond the
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn serve_not_before(
+        &mut self,
+        now: SimTime,
+        earliest: SimTime,
+        bytes: u64,
+        rate: ByteRate,
+    ) -> Service {
+        let start = self.next_free.max(now).max(earliest);
         let duration = rate.time_for(bytes);
         let end = start + duration;
         self.next_free = end;
-        self.busy += duration;
-        self.bytes_served += bytes;
-        self.requests += 1;
+        self.charge(now, start, end, bytes);
         Service { start, end }
     }
 
@@ -235,9 +311,7 @@ impl RateResource {
         };
         let end = start + duration;
         self.next_free = end;
-        self.busy += duration;
-        self.bytes_served += bytes;
-        self.requests += 1;
+        self.charge(now, start, end, bytes);
         Service { start, end }
     }
 
@@ -247,17 +321,58 @@ impl RateResource {
         let start = self.next_free.max(now);
         let end = start + duration;
         self.next_free = end;
-        self.busy += duration;
-        self.requests += 1;
+        self.charge(now, start, end, 0);
         Service { start, end }
     }
 
-    /// Resets accounting counters (not the clock); used between warm-up and
-    /// measurement phases.
-    pub fn reset_counters(&mut self) {
-        self.busy = SimTime::ZERO;
-        self.bytes_served = 0;
+    /// Records the service run `[start, end)` submitted at `now`, folding
+    /// runs that finished by `now` into the scalar totals. Folding only ever
+    /// uses true submission instants, so a later `busy_elapsed(at)` query
+    /// (with monotone `at >= now`) sees every folded run as fully elapsed.
+    fn charge(&mut self, now: SimTime, start: SimTime, end: SimTime, bytes: u64) {
+        while let Some(front) = self.tail.front() {
+            if front.end > now {
+                break;
+            }
+            let run = self.tail.pop_front().expect("front just observed");
+            self.busy_folded += run.end - run.start;
+            self.bytes_folded += run.bytes;
+        }
+        self.requests += 1;
+        if let Some(last) = self.tail.back_mut() {
+            if last.end == start {
+                last.end = end;
+                last.bytes += bytes;
+                return;
+            }
+        }
+        self.tail.push_back(BusyRun { start, end, bytes });
+    }
+
+    /// Resets accounting counters (not the clock) at measurement-window start
+    /// `now`; used between warm-up and measurement phases. A service run
+    /// straddling the boundary is split: the portion before `now` is
+    /// discarded with the warm-up, the remainder (busy time exactly, bytes
+    /// prorated by time) is attributed to the new window.
+    pub fn reset_counters(&mut self, now: SimTime) {
+        self.busy_folded = SimTime::ZERO;
+        self.bytes_folded = 0;
         self.requests = 0;
+        while let Some(front) = self.tail.front_mut() {
+            if front.end <= now {
+                self.tail.pop_front();
+                continue;
+            }
+            if front.start < now {
+                let total = (front.end - front.start).as_nanos() as u128;
+                let kept = (front.end - now).as_nanos() as u128;
+                front.bytes = u64::try_from(front.bytes as u128 * kept / total)
+                    .expect("prorated bytes fit: kept <= total");
+                front.start = now;
+            }
+            break;
+        }
+        self.window_start = now;
     }
 }
 
@@ -318,6 +433,116 @@ mod tests {
         assert_eq!(read.end, SimTime::from_millis(500));
         assert_eq!(write.start, read.end);
         assert_eq!(write.end, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn utilization_clamped_under_deep_queueing() {
+        // 100 seconds of demand submitted at t=0: the old submit-time charge
+        // reported utilization(1s) = 100.0; clamped accounting reports 1.0.
+        let mut res = RateResource::new(ByteRate::from_bytes_per_sec(1_000));
+        for _ in 0..100 {
+            res.serve(SimTime::ZERO, 1_000); // 1 s of service each
+        }
+        assert_eq!(res.busy_time(), SimTime::from_secs(100), "demand charge");
+        for t in [1u64, 7, 50, 99, 100, 250] {
+            let u = res.utilization(SimTime::from_secs(t));
+            assert!(u <= 1.0 + 1e-12, "utilization({t}s) = {u} exceeds 1");
+        }
+        assert!((res.utilization(SimTime::from_secs(50)) - 1.0).abs() < 1e-12);
+        // Past the backlog, the busy fraction dilutes.
+        assert!((res.utilization(SimTime::from_secs(200)) - 0.5).abs() < 1e-12);
+        assert_eq!(
+            res.busy_elapsed(SimTime::from_secs(30)),
+            SimTime::from_secs(30)
+        );
+        assert_eq!(
+            res.busy_elapsed(SimTime::from_secs(500)),
+            SimTime::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn busy_elapsed_monotone_increments_bounded_by_wall_clock() {
+        // Sampling is interleaved with submissions, as a timeline driver
+        // would do: `busy_elapsed` queries never go back in time.
+        let mut res = RateResource::new(ByteRate::from_bytes_per_sec(1_000));
+        let mut prev = SimTime::ZERO;
+        let mut sample = |res: &RateResource, ms: u64| {
+            let at = SimTime::from_millis(ms);
+            let b = res.busy_elapsed(at);
+            assert!(b >= prev, "busy_elapsed not monotone at {at}");
+            assert!(
+                b - prev <= SimTime::from_millis(250),
+                "busy grew faster than wall clock at {at}"
+            );
+            prev = b;
+        };
+        res.serve(SimTime::ZERO, 2_500); // busy [0, 2.5s)
+        for ms in (0..4_000).step_by(250) {
+            sample(&res, ms);
+        }
+        res.serve(SimTime::from_secs(4), 500); // busy [4s, 4.5s)
+        for ms in (4_000..6_000).step_by(250) {
+            sample(&res, ms);
+        }
+        assert_eq!(
+            res.busy_elapsed(SimTime::from_secs(6)),
+            SimTime::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn reset_attributes_straddling_service_to_measurement_window() {
+        // One 10-byte / 10-second service [0, 10s); warm-up ends at 4s.
+        let mut res = RateResource::new(ByteRate::from_bytes_per_sec(1));
+        res.serve(SimTime::ZERO, 10);
+        res.reset_counters(SimTime::from_secs(4));
+        // 6 of 10 seconds (and 6 of 10 bytes) belong to the measurement window.
+        assert_eq!(res.busy_time(), SimTime::from_secs(6));
+        assert_eq!(res.bytes_served(), 6);
+        assert_eq!(
+            res.busy_elapsed(SimTime::from_secs(10)),
+            SimTime::from_secs(6)
+        );
+        assert!((res.utilization(SimTime::from_secs(10)) - 1.0).abs() < 1e-12);
+        assert!((res.utilization(SimTime::from_secs(16)) - 0.5).abs() < 1e-12);
+        assert_eq!(res.requests(), 0, "the request itself counted pre-reset");
+    }
+
+    #[test]
+    fn reset_discards_completed_warmup_work() {
+        let mut res = RateResource::new(ByteRate::from_bytes_per_sec(1_000));
+        res.serve(SimTime::ZERO, 1_000); // fully inside warm-up
+        res.reset_counters(SimTime::from_secs(2));
+        assert_eq!(res.busy_time(), SimTime::ZERO);
+        assert_eq!(res.bytes_served(), 0);
+        res.serve(SimTime::from_secs(3), 500);
+        assert_eq!(res.busy_time(), SimTime::from_millis(500));
+        assert_eq!(res.bytes_served(), 500);
+        assert!((res.utilization(SimTime::from_secs(4)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shaped_service_does_not_fold_future_runs() {
+        // Submit at t=0 with a QoS-style release far in the future, then
+        // sample in between: the future run must not leak into elapsed busy.
+        let mut res = RateResource::new(ByteRate::from_bytes_per_sec(1_000));
+        res.serve(SimTime::ZERO, 1_000); // busy [0, 1s)
+        res.serve_not_before(
+            SimTime::from_millis(100),
+            SimTime::from_secs(10),
+            1_000,
+            ByteRate::from_bytes_per_sec(1_000),
+        ); // busy [10s, 11s)
+        assert_eq!(
+            res.busy_elapsed(SimTime::from_secs(2)),
+            SimTime::from_secs(1)
+        );
+        assert!(res.utilization(SimTime::from_secs(2)) <= 1.0);
+        assert_eq!(
+            res.busy_elapsed(SimTime::from_secs(11)),
+            SimTime::from_secs(2)
+        );
     }
 
     #[test]

@@ -84,6 +84,46 @@ fn rng_streams_are_deterministic_and_in_range() {
 }
 
 #[test]
+fn timeline_conserves_clamped_busy_under_random_load() {
+    // Σ bucket busy == the resource's clamped elapsed busy over the sampled
+    // span, and no bucket ever exceeds its width — for random rates, random
+    // arrival patterns (including deep queueing) and random bucket widths.
+    let mut rng = DetRng::new(0x51A5);
+    for _ in 0..40 {
+        let rate = ByteRate::from_mb_per_sec(1.0 + rng.unit_f64() * 999.0);
+        let mut res = RateResource::new(rate);
+        let mut tl = draid_sim::UtilizationTimeline::new(SimTime::ZERO);
+        tl.observe("res", SimTime::ZERO, SimTime::ZERO);
+        let bucket = SimTime::from_micros(500 + rng.below(1_500));
+        let mut boundary = bucket;
+        let mut clock = SimTime::ZERO;
+        for _ in 0..(1 + rng.below(80)) {
+            clock += SimTime::from_nanos(rng.below(800_000));
+            while boundary <= clock {
+                tl.observe("res", boundary, res.busy_elapsed(boundary));
+                boundary += bucket;
+            }
+            res.serve(clock, rng.below(1 << 18));
+        }
+        // Keep sampling until every queued service has elapsed.
+        let horizon = res.next_free().max(clock) + bucket;
+        while boundary <= horizon {
+            tl.observe("res", boundary, res.busy_elapsed(boundary));
+            boundary += bucket;
+        }
+        let last = boundary - bucket;
+        // Conservation: the buckets partition the clamped busy time exactly,
+        // and once the queue has drained it equals the total demand.
+        assert_eq!(tl.total_busy("res"), res.busy_elapsed(last));
+        assert_eq!(res.busy_elapsed(last), res.busy_time());
+        for b in tl.buckets("res") {
+            assert!(b.busy <= b.width, "bucket busy exceeds wall clock");
+            assert!(b.utilization() <= 1.0 + 1e-12);
+        }
+    }
+}
+
+#[test]
 fn histogram_percentiles_are_monotone() {
     let mut rng = DetRng::new(0x51A4);
     for _ in 0..50 {

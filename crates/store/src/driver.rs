@@ -125,7 +125,7 @@ impl AppRunner {
         }
         engine.run_until(&mut array, self.warmup);
         array.drain_completions();
-        array.reset_measurement();
+        array.reset_measurement(self.warmup);
         {
             let mut s = shared.borrow_mut();
             s.latencies.reset();
@@ -146,16 +146,17 @@ impl AppRunner {
         let host_capacity = array.cluster.fabric().node_rate(host).bytes_per_sec() as f64
             * 2.0
             * self.measure.as_secs_f64();
-        let s = shared.borrow();
-        let mut lat = s.latencies.clone();
+        let mut s = shared.borrow_mut();
+        let mean_latency_us = s.latencies.mean().as_micros_f64();
+        let p99_latency_us = if s.latencies.is_empty() {
+            0.0
+        } else {
+            s.latencies.percentile(99.0).as_micros_f64()
+        };
         AppReport {
             kiops: s.ops as f64 / 1e3 / self.measure.as_secs_f64(),
-            mean_latency_us: lat.mean().as_micros_f64(),
-            p99_latency_us: if lat.is_empty() {
-                0.0
-            } else {
-                lat.percentile(99.0).as_micros_f64()
-            },
+            mean_latency_us,
+            p99_latency_us,
             ops: s.ops,
             host_bandwidth_fraction: host_bytes as f64 / host_capacity,
             window: self.measure,

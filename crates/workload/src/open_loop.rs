@@ -170,7 +170,7 @@ impl OpenLoopRunner {
 
         engine.run_until(&mut array, self.warmup);
         array.drain_completions();
-        array.reset_measurement();
+        array.reset_measurement(self.warmup);
         {
             let mut s = state.borrow_mut();
             s.arrivals = 0;
@@ -184,8 +184,8 @@ impl OpenLoopRunner {
             engine.run_until(&mut array, t.min(end));
             array.drain_completions();
         }
+        let report = crate::runner::report_from(&mut array, end, self.measure);
         let s = state.borrow();
-        let report = crate::runner::report_from(&array, self.measure);
         OpenLoopReport {
             offered_ops_per_sec: s.arrivals as f64 / self.measure.as_secs_f64(),
             peak_inflight: s.peak_inflight,

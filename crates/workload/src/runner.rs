@@ -90,7 +90,7 @@ impl Runner {
         // Warm-up: run, then discard all counters.
         engine.run_until(&mut array, self.warmup);
         array.drain_completions();
-        array.reset_measurement();
+        array.reset_measurement(self.warmup);
 
         // Measured window, drained in slices to bound completion memory.
         let end = self.warmup + self.measure;
@@ -106,58 +106,73 @@ impl Runner {
             array.drain_completions();
         }
 
-        report_from(&array, self.measure)
+        report_from(&mut array, end, self.measure)
     }
 }
 
-/// Builds a [`RunReport`] from the array's measured-window state.
-pub(crate) fn report_from(array: &ArraySim, window: SimTime) -> RunReport {
-    {
-        let stats = &array.stats;
-        let mut read_lat = stats.read_latency.clone();
-        let mut write_lat = stats.write_latency.clone();
-        let host = array.cluster.host_node();
-        let max_member_cpu = (0..array.config().width)
-            .map(|m| {
-                array
-                    .cluster
-                    .cpu(array.cluster.server_node(draid_block::ServerId(m)))
-                    .busy_time()
-                    .as_secs_f64()
-                    / window.as_secs_f64()
-            })
-            .fold(0.0f64, f64::max);
-        let p = |h: &mut draid_sim::Histogram, q: f64| -> f64 {
-            if h.is_empty() {
-                0.0
-            } else {
-                h.percentile(q).as_micros_f64()
-            }
-        };
+/// Builds a [`RunReport`] from the array's measured-window state, where `now`
+/// is the absolute end of the window (utilizations are clamped to it).
+///
+/// Takes `&mut` so percentiles sort the stats histograms in place instead of
+/// cloning their sample vectors.
+pub(crate) fn report_from(array: &mut ArraySim, now: SimTime, window: SimTime) -> RunReport {
+    let (mean_us, p50, p99, counters) = {
+        let stats = &mut array.stats;
+        let mean_us = stats.mean_latency().as_micros_f64();
         // Merge read/write percentiles by the dominant class.
-        let (p50, p99) = if read_lat.len() >= write_lat.len() {
-            (p(&mut read_lat, 50.0), p(&mut read_lat, 99.0))
+        let dominant = if stats.read_latency.len() >= stats.write_latency.len() {
+            &mut stats.read_latency
         } else {
-            (p(&mut write_lat, 50.0), p(&mut write_lat, 99.0))
+            &mut stats.write_latency
         };
-        RunReport {
-            bandwidth_mb_per_sec: stats.bandwidth_mb_per_sec(window),
-            kiops: stats.kiops(window),
-            mean_latency_us: stats.mean_latency().as_micros_f64(),
-            p50_latency_us: p50,
-            p99_latency_us: p99,
-            reads: stats.reads,
-            writes: stats.writes,
-            host_tx_bytes: array.cluster.fabric().bytes_sent(host),
-            host_rx_bytes: array.cluster.fabric().bytes_received(host),
-            max_member_cpu,
-            host_cpu: array.cluster.cpu(host).busy_time().as_secs_f64() / window.as_secs_f64(),
-            retries: stats.retries,
-            timeouts: stats.timeouts,
-            degraded_ios: stats.degraded_ios,
-            failed_ios: stats.failed_ios,
-            window,
-        }
+        let (p50, p99) = if dominant.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                dominant.percentile(50.0).as_micros_f64(),
+                dominant.percentile(99.0).as_micros_f64(),
+            )
+        };
+        let counters = (
+            stats.bandwidth_mb_per_sec(window),
+            stats.kiops(window),
+            stats.reads,
+            stats.writes,
+            stats.retries,
+            stats.timeouts,
+            stats.degraded_ios,
+            stats.failed_ios,
+        );
+        (mean_us, p50, p99, counters)
+    };
+    let host = array.cluster.host_node();
+    let max_member_cpu = (0..array.config().width)
+        .map(|m| {
+            array
+                .cluster
+                .cpu(array.cluster.server_node(draid_block::ServerId(m)))
+                .utilization(now)
+        })
+        .fold(0.0f64, f64::max);
+    let (bandwidth_mb_per_sec, kiops, reads, writes, retries, timeouts, degraded_ios, failed_ios) =
+        counters;
+    RunReport {
+        bandwidth_mb_per_sec,
+        kiops,
+        mean_latency_us: mean_us,
+        p50_latency_us: p50,
+        p99_latency_us: p99,
+        reads,
+        writes,
+        host_tx_bytes: array.cluster.fabric().bytes_sent(host),
+        host_rx_bytes: array.cluster.fabric().bytes_received(host),
+        max_member_cpu,
+        host_cpu: array.cluster.cpu(host).utilization(now),
+        retries,
+        timeouts,
+        degraded_ios,
+        failed_ios,
+        window,
     }
 }
 
