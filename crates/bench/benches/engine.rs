@@ -37,6 +37,47 @@ fn bench_engine_events(c: &mut Criterion) {
             black_box(world)
         })
     });
+    // The same-instant FIFO fast path under a deep heap backlog: the shape
+    // simperf's headline scenario measures against the baseline engine.
+    g.bench_function("same_instant_chain_10k_backlog", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            fn chain(w: &mut u64, eng: &mut Engine<u64>) {
+                *w += 1;
+                if *w < 10_000 {
+                    eng.schedule_in(SimTime::ZERO, chain);
+                } else {
+                    eng.stop();
+                }
+            }
+            for i in 0..10_000u64 {
+                engine.schedule_at(SimTime::from_micros(1_000 + i), |_, _| {});
+            }
+            engine.schedule_at(SimTime::from_nanos(1), chain);
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
+    g.bench_function("timer_arm_cancel_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            fn arm(eng: &mut Engine<u64>, remaining: u64) {
+                let deadline = eng.schedule_timer_in(SimTime::from_micros(100), |_, _| {});
+                eng.schedule_in(SimTime::from_nanos(200), move |w: &mut u64, eng| {
+                    *w += 1;
+                    eng.cancel(deadline);
+                    if remaining > 0 {
+                        arm(eng, remaining - 1);
+                    }
+                });
+            }
+            arm(&mut engine, 10_000 - 1);
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
     g.finish();
 }
 

@@ -1,0 +1,187 @@
+//! The pre-overhaul discrete-event engine, vendored verbatim for the
+//! `simperf` scheduler-throughput benchmark.
+//!
+//! This is the engine as it stood before the slab + same-instant-FIFO
+//! rewrite of `draid_sim::Engine`: one `Box<dyn FnOnce>` per event carried
+//! *inside* the `BinaryHeap` entry, every sift moving the whole `Scheduled`
+//! struct, no fast path and no cancelable timers. Keeping it compiled (the
+//! same trick `mul_acc_scalar_ref` plays for the GF(256) kernels) lets the
+//! benchmark measure the speedup at runtime on the current machine instead
+//! of trusting a number recorded on someone else's hardware.
+//!
+//! Do not adopt this module for new code; it exists only as a yardstick.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use draid_sim::SimTime;
+
+type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    event: BoxedEvent<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Counters describing a baseline-engine run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events executed so far.
+    pub events_fired: u64,
+    /// Events scheduled so far.
+    pub events_scheduled: u64,
+}
+
+/// The pre-overhaul deterministic discrete-event engine (see module docs).
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    stopped: bool,
+    stats: EngineStats,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            stopped: false,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Engine::now`]).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.seq += 1;
+        self.stats.events_scheduled += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedules `event` after a relative delay from now.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        event: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulated time overflow");
+        self.schedule_at(at, event);
+    }
+
+    /// Requests the current run loop to stop after the running event returns.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Runs until the queue drains or [`Engine::stop`] is called. Returns the
+    /// final simulated time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Runs events with `time <= deadline` (pre-overhaul semantics: the
+    /// clock rests at the last event time when the queue drains early).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        self.stopped = false;
+        while let Some(entry) = self.queue.peek() {
+            if self.stopped {
+                break;
+            }
+            if entry.time > deadline {
+                self.now = deadline;
+                break;
+            }
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            self.now = entry.time;
+            self.stats.events_fired += 1;
+            (entry.event)(world, self);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_engine_still_works() {
+        // The yardstick must stay functional or the speedup numbers are
+        // meaningless: FIFO ties, nested scheduling, and the clock.
+        let mut order: Vec<u32> = Vec::new();
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..10 {
+            engine.schedule_at(t, move |w, _| w.push(i));
+        }
+        engine.schedule_in(SimTime::from_micros(2), |w: &mut Vec<u32>, _| w.push(99));
+        let end = engine.run(&mut order);
+        assert_eq!(order[..10], (0..10).collect::<Vec<_>>()[..]);
+        assert_eq!(order[10], 99);
+        assert_eq!(end, SimTime::from_micros(2));
+        assert_eq!(engine.stats().events_fired, 11);
+    }
+}

@@ -508,6 +508,9 @@ impl ArraySim {
             len: user.io.len,
             submitted: user.submitted,
             completed: now,
+            // O(1): `Bytes::from(Vec)` takes ownership of the gathered read
+            // buffer without copying it, so completion delivery costs no
+            // per-byte work regardless of I/O size.
             data: user.read_buf.map(bytes::Bytes::from),
             error: user.error,
         };
@@ -528,16 +531,30 @@ impl ArraySim {
     /// bitmap drives a parity resync of only the dirty stripes — no
     /// full-array scan. Returns the stripes being resynced.
     pub fn simulate_host_crash(&mut self, eng: &mut Engine<ArraySim>) -> Vec<u64> {
-        // The crashed controller's state evaporates. Generation checks make
-        // the old engine events no-ops against the cleared slots.
+        // The crashed controller's state evaporates. Every armed deadline
+        // and pending retry launch is canceled outright — a retry timer
+        // firing on a recycled slot after the restart would double-launch
+        // an unrelated op. Generation checks remain as the second line of
+        // defense for in-flight step completions.
         for slot in &mut self.ops {
-            *slot = None;
+            if let Some(op) = slot.take() {
+                if let Some(h) = op.deadline_timer {
+                    eng.cancel(h);
+                }
+                if let Some(h) = op.launch_timer {
+                    eng.cancel(h);
+                }
+            }
         }
         self.free_ops = (0..self.ops.len()).rev().collect();
         self.users.clear();
         self.hooks.clear();
         self.locks = LockTable::new();
-        self.rebuild = None;
+        if let Some(r) = self.rebuild.take() {
+            for h in r.backoff_timers {
+                eng.cancel(h);
+            }
+        }
         self.scrub = None;
 
         let dirty = self.bitmap.dirty_stripes();

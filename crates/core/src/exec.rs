@@ -1,7 +1,7 @@
 //! The DAG executor: runs stripe-operation DAGs on the cluster's resources,
 //! with per-op deadlines, failure propagation, and full-stripe retry (§5.4).
 
-use draid_sim::{Engine, SimTime};
+use draid_sim::{Engine, SimTime, TimerHandle};
 
 use crate::array::ArraySim;
 use crate::builders::{self, BuildCtx, Purpose};
@@ -42,6 +42,13 @@ pub(crate) struct OpState {
     /// Set when this op is a background scrub check.
     pub scrub: bool,
     launched: bool,
+    /// The armed §5.4 deadline timer; canceled when the op finishes so dead
+    /// timers stop occupying the event queue.
+    pub deadline_timer: Option<TimerHandle>,
+    /// The pending retry-backoff timer that will (re)launch this op. Held so
+    /// a host crash can cancel the launch outright instead of relying on the
+    /// fired closure to notice the slot was recycled.
+    pub launch_timer: Option<TimerHandle>,
 }
 
 /// A tiny free-list of byte buffers backing the op data plane: the
@@ -112,6 +119,8 @@ impl OpState {
             force_rcw: false,
             scrub: false,
             launched: false,
+            deadline_timer: None,
+            launch_timer: None,
         }
     }
 
@@ -211,10 +220,13 @@ impl ArraySim {
             op.install_dag(dag);
             op.gen
         };
-        // Arm the explicit timeout (§5.4).
-        eng.schedule_in(self.cfg.op_deadline, move |w: &mut ArraySim, eng| {
+        // Arm the explicit timeout (§5.4) as a cancelable timer: the op
+        // cancels it on completion instead of leaving a tombstone closure to
+        // fire as a generation-checked no-op.
+        let deadline = eng.schedule_timer_in(self.cfg.op_deadline, move |w: &mut ArraySim, eng| {
             w.on_timeout(eng, idx, gen);
         });
+        self.ops[idx].as_mut().expect("op vanished").deadline_timer = Some(deadline);
         // Start every dependency-free step.
         let roots: Vec<usize> = {
             let op = self.ops[idx].as_ref().expect("op vanished");
@@ -390,6 +402,21 @@ impl ArraySim {
         }
     }
 
+    /// Fires when a retry's backoff elapses: launches the waiting op. The
+    /// generation check guards against the slot having been recycled (the
+    /// timer is canceled on host crash, so in practice this only races
+    /// hypothetical future reapers).
+    fn on_retry_launch(&mut self, eng: &mut Engine<ArraySim>, idx: usize, gen: u64) {
+        let Some(op) = self.ops[idx].as_mut() else {
+            return;
+        };
+        if op.gen != gen {
+            return;
+        }
+        op.launch_timer = None;
+        self.launch_op(eng, idx);
+    }
+
     fn on_timeout(&mut self, eng: &mut Engine<ArraySim>, idx: usize, gen: u64) {
         let expired = matches!(&self.ops[idx], Some(op) if op.gen == gen && op.remaining > 0);
         if expired {
@@ -416,6 +443,12 @@ impl ArraySim {
     ) {
         let op = self.ops[idx].take().expect("finish of missing op");
         self.free_ops.push(idx);
+        // Disarm the §5.4 deadline: the op reached a final state, so the
+        // timer must not linger in the queue. (A no-op if the timer itself
+        // expired and brought us here.)
+        if let Some(h) = op.deadline_timer {
+            eng.cancel(h);
+        }
 
         if let Some(member) = op.rebuild_of {
             self.on_rebuild_op_done(eng, member, op.io.stripe, failure.is_some());
@@ -449,11 +482,13 @@ impl ArraySim {
             // host retries only after the op reaches a final state). The
             // jitter keeps ops that failed together from retrying together.
             let backoff = retry_backoff(self.cfg.op_deadline, op.retries, gen);
-            eng.schedule_in(backoff, move |w: &mut ArraySim, eng| {
-                if w.ops[new_idx].is_some() {
-                    w.launch_op(eng, new_idx);
-                }
+            let launch = eng.schedule_timer_in(backoff, move |w: &mut ArraySim, eng| {
+                w.on_retry_launch(eng, new_idx, gen);
             });
+            self.ops[new_idx]
+                .as_mut()
+                .expect("fresh retry op")
+                .launch_timer = Some(launch);
             return;
         }
 
@@ -538,14 +573,16 @@ impl ArraySim {
         match op.purpose {
             Some(Purpose::Write { mode, .. }) => {
                 // The payload handle is `Arc`-backed `Bytes`: cloning it
-                // shares the user's buffer, and the store consumes a borrowed
-                // sub-slice — the op path copies no payload bytes.
+                // shares the user's buffer, and `Bytes::slice` carves an
+                // O(1) sub-view of this stripe's portion — the op path
+                // copies no payload bytes.
                 let payload = self.users.get(&op.user).and_then(|u| u.io.data.clone());
                 match payload {
                     Some(data) => {
                         let lo = op.io.buf_offset as usize;
                         let hi = lo + op.io.bytes() as usize;
-                        store.apply_write(&op.io, &data[lo..hi], mode, &effective_faulty);
+                        let sub = data.slice(lo..hi);
+                        store.apply_write(&op.io, &sub, mode, &effective_faulty);
                     }
                     None => {
                         let zeros = self.buf_pool.take_zeroed(op.io.bytes() as usize);

@@ -27,7 +27,7 @@ use std::collections::BTreeSet;
 
 use draid_block::ServerId;
 use draid_net::LinkDir;
-use draid_sim::{Engine, SimTime};
+use draid_sim::{Engine, SimTime, TimerHandle};
 
 use crate::array::ArraySim;
 
@@ -417,5 +417,20 @@ impl FaultSchedule {
                 w.apply_fault(eng, action);
             });
         }
+    }
+
+    /// Like [`FaultSchedule::install`], but returns one [`TimerHandle`] per
+    /// injection, in schedule order, so a chaos test can call off the part
+    /// of the script that hasn't happened yet (`eng.cancel(handle)`);
+    /// canceling an already-fired injection is a no-op.
+    pub fn install_cancelable(self, eng: &mut Engine<ArraySim>) -> Vec<TimerHandle> {
+        self.events
+            .into_iter()
+            .map(|(at, action)| {
+                eng.schedule_timer_at(at, move |w: &mut ArraySim, eng| {
+                    w.apply_fault(eng, action);
+                })
+            })
+            .collect()
     }
 }

@@ -16,7 +16,7 @@
 //! instant and fully healthy when the rebuild completes.
 
 use draid_block::ServerId;
-use draid_sim::{Engine, SimTime};
+use draid_sim::{Engine, SimTime, TimerHandle};
 
 use crate::array::ArraySim;
 use crate::dag::{Dag, StepKind};
@@ -62,6 +62,11 @@ pub(crate) struct RebuildState {
     pub concurrency: usize,
     pub started: SimTime,
     pub failures: u64,
+    /// Backoff timers armed by failed stripe ops. Canceled when the rebuild
+    /// finishes, is abandoned, or a host crash wipes it, so a stale pump
+    /// can never bleed an extra concurrency slot into a later rebuild.
+    /// Fired timers leave stale handles behind; canceling those is a no-op.
+    pub backoff_timers: Vec<TimerHandle>,
 }
 
 impl ArraySim {
@@ -109,9 +114,10 @@ impl ArraySim {
             concurrency,
             started: eng.now(),
             failures: 0,
+            backoff_timers: Vec::new(),
         });
         if stripes == 0 {
-            self.finish_rebuild();
+            self.finish_rebuild(eng);
             return;
         }
         for _ in 0..concurrency.min(stripes as usize) {
@@ -295,8 +301,12 @@ impl ArraySim {
             r.failures += 1;
             if r.failures > r.total.max(8) * 3 {
                 // The spare (or too many survivors) keeps erroring: abandon
-                // the rebuild; the member stays faulty.
-                self.rebuild = None;
+                // the rebuild; the member stays faulty. Pending backoff
+                // pumps die with it.
+                let r = self.rebuild.take().expect("rebuild state present");
+                for h in r.backoff_timers {
+                    eng.cancel(h);
+                }
                 self.health
                     .set_state(member, crate::health::HealthState::Faulty);
                 return;
@@ -310,13 +320,16 @@ impl ArraySim {
             let attempt = r.failures.min(3) as u32;
             let backoff =
                 crate::exec::retry_backoff(self.cfg.op_deadline, attempt, self.fresh_gen());
-            eng.schedule_in(backoff, |w: &mut ArraySim, eng| {
+            let h = eng.schedule_timer_in(backoff, |w: &mut ArraySim, eng| {
                 w.pump_rebuild(eng);
             });
+            if let Some(r) = &mut self.rebuild {
+                r.backoff_timers.push(h);
+            }
         } else {
             r.completed += 1;
             if r.completed >= r.total {
-                self.finish_rebuild();
+                self.finish_rebuild(eng);
             } else {
                 self.pump_rebuild(eng);
             }
@@ -325,9 +338,13 @@ impl ArraySim {
     }
 
     /// Final swap: the spare becomes the member, the member leaves the
-    /// faulty set, and the array returns to optimal state.
-    fn finish_rebuild(&mut self) {
+    /// faulty set, and the array returns to optimal state. Any backoff pump
+    /// still armed (a failure raced the final completions) is canceled.
+    fn finish_rebuild(&mut self, eng: &mut Engine<ArraySim>) {
         let r = self.rebuild.take().expect("rebuild state present");
+        for h in &r.backoff_timers {
+            eng.cancel(*h);
+        }
         self.member_servers[r.member] = r.spare;
         self.member_nodes[r.member] = self.cluster.server_node(r.spare);
         self.faulty.remove(&r.member);

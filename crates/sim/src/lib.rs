@@ -9,8 +9,10 @@
 //! The kernel is deliberately small and fully deterministic:
 //!
 //! * [`SimTime`] — nanosecond simulated clock.
-//! * [`Engine`] — binary-heap event queue over a user world type `W`; events
-//!   are `FnOnce(&mut W, &mut Engine<W>)` closures with FIFO tie-breaking.
+//! * [`Engine`] — slab-backed event queue over a user world type `W`; events
+//!   are `FnOnce(&mut W, &mut Engine<W>)` closures with FIFO tie-breaking, a
+//!   same-instant fast path for completion chains, and cancelable timers
+//!   ([`TimerHandle`]).
 //! * [`RateResource`] — a fluid FIFO server: serving `b` bytes at rate `r`
 //!   occupies the resource for `b / r`, queueing behind earlier work.
 //! * [`DetRng`] — seeded deterministic RNG so every experiment replays.
@@ -49,7 +51,7 @@ mod registry;
 mod rng;
 mod time;
 
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineStats, TimerHandle};
 pub use invariant::invariants_enabled;
 pub use metrics::{Counter, Histogram, HistogramSummary};
 pub use rate::{ByteRate, RateResource, Service};
